@@ -1,0 +1,93 @@
+// Ablation: fixed-format FP multipliers (binary16/32/64, from the generic
+// generator) versus the shared multi-format unit -- what does format
+// flexibility cost?  This quantifies the implicit trade the paper makes by
+// building one 64x64 array for everything instead of dedicated units.
+#include "bench_common.h"
+#include "mf/mf_unit.h"
+#include "mult/fp_multiplier.h"
+#include "netlist/power.h"
+#include "netlist/sim_event.h"
+#include "netlist/timing.h"
+#include "power/measure.h"
+#include "power/workloads.h"
+
+using namespace mfm;
+
+namespace {
+
+struct Cost {
+  double area_nand2;
+  double delay_ps;
+  double mw100;
+};
+
+Cost measure_fixed(const fp::FormatSpec& fmt, int vectors) {
+  const auto& lib = netlist::TechLib::lp45();
+  mult::FpMultiplierOptions o;
+  o.format = fmt;
+  const auto u = mult::build_fp_multiplier(o);
+  netlist::Sta sta(*u.circuit, lib);
+  netlist::PowerModel pm(*u.circuit, lib);
+  netlist::EventSim sim(*u.circuit, lib);
+  std::mt19937_64 rng(fmt.storage_bits);
+  const int margin = fmt.exp_bits >= 8 ? (1 << (fmt.exp_bits - 2)) : 4;
+  for (int i = 0; i < vectors; ++i) {
+    auto rnd = [&] {
+      const u128 frac =
+          (static_cast<u128>(rng()) << 64 | rng()) & fmt.frac_mask();
+      const u128 exp = static_cast<u128>(
+          margin + static_cast<int>(
+                       rng() % static_cast<unsigned>(
+                                   static_cast<int>(fmt.exp_mask()) - 1 -
+                                   2 * margin + 1)));
+      return ((static_cast<u128>(rng()) & 1) << (fmt.storage_bits - 1)) |
+             (exp << fmt.trailing_bits) | frac;
+    };
+    sim.set_bus(u.a, rnd());
+    sim.set_bus(u.b, rnd());
+    sim.cycle();
+  }
+  return {pm.area_nand2(), sta.max_delay_ps(),
+          pm.report(sim, 100.0).total_mw()};
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation -- fixed-format multipliers vs the shared "
+                "multi-format unit",
+                "cost of format flexibility (Sec. III design choice)");
+  const int vectors = power::bench_vectors(200);
+  const auto& lib = netlist::TechLib::lp45();
+
+  bench::Table t;
+  t.row({"unit", "area [NAND2]", "comb. delay [ps]", "power @100MHz [mW]"});
+  for (const fp::FormatSpec* f :
+       {&fp::kBinary16, &fp::kBinary32, &fp::kBinary64}) {
+    const Cost c = measure_fixed(*f, vectors);
+    t.row({std::string("fixed ") + std::string(f->name),
+           bench::fmt("%.0f", c.area_nand2), bench::fmt("%.0f", c.delay_ps),
+           bench::fmt("%.2f", c.mw100)});
+  }
+  // The multi-format unit, combinational for a like-for-like delay column.
+  mf::MfOptions comb;
+  comb.pipeline = mf::MfPipeline::Combinational;
+  const auto mfu = mf::build_mf_unit(comb);
+  netlist::Sta sta(*mfu.circuit, lib);
+  netlist::PowerModel pm(*mfu.circuit, lib);
+  const auto p64 = power::measure_mf(mfu, power::Workload::Fp64Random,
+                                     vectors, 880.0, 1);
+  t.row({"MFmult (int64+fp64+2xfp32)", bench::fmt("%.0f", pm.area_nand2()),
+         bench::fmt("%.0f", sta.max_delay_ps()),
+         bench::fmt("%.2f (fp64 stream)", p64.mw_100)});
+  t.print();
+
+  std::printf(
+      "\nReadout: one shared 64x64 radix-16 array plus formatters costs\n"
+      "roughly a binary64 unit (the dominant datapath) -- far less than\n"
+      "separate binary64 + 2x binary32 + int64 units would.  A dedicated\n"
+      "binary32 multiplier is ~4x smaller, which is the price a design\n"
+      "pays for issuing fp32 work through the 64-bit array when it never\n"
+      "needs the wider formats.\n");
+  return 0;
+}

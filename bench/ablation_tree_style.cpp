@@ -1,0 +1,55 @@
+// Ablation: reduction-tree scheduling -- the paper's "implemented by 3:2
+// or 4:2 carry-save adders" remark, quantified.  Builds the radix-16 and
+// radix-4 64x64 multipliers with Dadda, Wallace and 4:2-compressor trees
+// and compares stages, area, delay and power.
+#include "bench_common.h"
+#include "mult/multiplier.h"
+#include "netlist/power.h"
+#include "netlist/timing.h"
+#include "power/measure.h"
+
+using namespace mfm;
+
+int main() {
+  bench::header("Ablation -- reduction-tree scheduling (3:2 Dadda / 3:2 "
+                "Wallace / 4:2 compressors)",
+                "Sec. II: 'implemented by 3:2 or 4:2 carry-save adders'");
+  const int vectors = power::bench_vectors(150);
+  const auto& lib = netlist::TechLib::lp45();
+
+  for (int g : {4, 2}) {
+    std::printf("\nradix-%d 64x64:\n", 1 << g);
+    bench::Table t;
+    t.row({"tree", "stages", "gates", "area [NAND2]", "delay [ps]",
+           "power @100MHz [mW]"});
+    for (auto [name, style] :
+         {std::pair{"Dadda 3:2", rtl::TreeStyle::Dadda},
+          std::pair{"Wallace 3:2", rtl::TreeStyle::Wallace},
+          std::pair{"4:2 compressors", rtl::TreeStyle::Compressor42}}) {
+      mult::MultiplierOptions o;
+      o.n = 64;
+      o.g = g;
+      o.tree_style = style;
+      const auto u = mult::build_multiplier(o);
+      netlist::Sta sta(*u.circuit, lib);
+      netlist::PowerModel pm(*u.circuit, lib);
+      const auto p = power::measure_multiplier(u, vectors, 100.0);
+      t.row({name, std::to_string(u.tree_stages),
+             std::to_string(u.circuit->size()),
+             bench::fmt("%.0f", pm.area_nand2()),
+             bench::fmt("%.0f", sta.max_delay_ps()),
+             bench::fmt("%.2f", p.total_mw())});
+    }
+    t.print();
+  }
+  std::printf(
+      "\nReadout: Dadda is the efficiency point (fewest counters, fewest\n"
+      "stages); Wallace spends extra half-adders for no delay gain at\n"
+      "these shapes; the 4:2 organization is the most regular but, built\n"
+      "from chained 3:2 cells as here, pays delay -- its real advantage\n"
+      "needs a dedicated 4:2 cell with a fast mux path, which is why\n"
+      "industrial trees (and the paper's '3:2 or 4:2' remark) treat it as\n"
+      "a library question.  All three are bit-equivalent (property-tested\n"
+      "across shapes and lane barriers).\n");
+  return 0;
+}

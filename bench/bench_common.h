@@ -1,0 +1,62 @@
+// Shared helpers for the reproduction benches: small table printer and the
+// standard header each bench emits.
+//
+// Every binary regenerates one table or figure of the paper and prints the
+// paper's reported numbers next to the measured ones.  Monte-Carlo vector
+// counts default to a laptop-friendly size and can be raised with
+// MFM_BENCH_VECTORS (see power::bench_vectors).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mfm::bench {
+
+inline void header(const char* experiment, const char* paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("paper: Nannarelli, \"A Multi-Format Floating-Point Multiplier\n");
+  std::printf("       for Power-Efficient Operations\", IEEE SOCC 2017\n");
+  std::printf("================================================================\n");
+}
+
+/// Minimal fixed-width table printer: rows of cells, first row = header.
+class Table {
+ public:
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<std::size_t> width;
+    for (const auto& r : rows_)
+      for (std::size_t i = 0; i < r.size(); ++i) {
+        if (width.size() <= i) width.resize(i + 1, 0);
+        width[i] = std::max(width[i], r[i].size());
+      }
+    for (std::size_t ri = 0; ri < rows_.size(); ++ri) {
+      const auto& r = rows_[ri];
+      std::printf("  ");
+      for (std::size_t i = 0; i < r.size(); ++i)
+        std::printf("%-*s  ", static_cast<int>(width[i]), r[i].c_str());
+      std::printf("\n");
+      if (ri == 0) {
+        std::printf("  ");
+        for (std::size_t i = 0; i < width.size(); ++i)
+          std::printf("%s  ", std::string(width[i], '-').c_str());
+        std::printf("\n");
+      }
+    }
+  }
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(const char* f, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, f, v);
+  return buf;
+}
+
+}  // namespace mfm::bench

@@ -1,0 +1,121 @@
+// google-benchmark microbenchmarks of the software layers: the bit-exact
+// MfModel (the library's fast functional API), the IEEE soft-float
+// reference, and the two netlist simulators.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "fp/softfloat.h"
+#include "mf/mf_model.h"
+#include "mf/mf_unit.h"
+#include "mult/multiplier.h"
+#include "netlist/sim_event.h"
+#include "netlist/sim_level.h"
+
+using namespace mfm;
+
+namespace {
+
+std::mt19937_64& rng() {
+  static std::mt19937_64 r(7);
+  return r;
+}
+
+std::uint64_t rand_fp64() {
+  return ((rng()() & 1) << 63) | ((512 + rng()() % 1024) << 52) |
+         (rng()() & ((1ull << 52) - 1));
+}
+
+void BM_MfModelInt64(benchmark::State& state) {
+  std::uint64_t x = rng()(), y = rng()();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mf::int64_mul(x, y));
+    x += 0x9E3779B97F4A7C15ull;
+    y ^= x >> 7;
+  }
+}
+BENCHMARK(BM_MfModelInt64);
+
+void BM_MfModelFp64(benchmark::State& state) {
+  std::uint64_t a = rand_fp64(), b = rand_fp64();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mf::fp64_mul(a, b));
+    a = (a & ~0xFFFFull) | (b & 0xFFFF);
+    b ^= a << 1 >> 13;
+    b = (b & ~(0x7FFull << 52)) | (900ull << 52);
+    a = (a & ~(0x7FFull << 52)) | (1100ull << 52);
+  }
+}
+BENCHMARK(BM_MfModelFp64);
+
+void BM_MfModelFp32Dual(benchmark::State& state) {
+  std::uint32_t ah = 0x40490FDB, al = 0x3F800000;
+  std::uint32_t bh = 0x3FC00000, bl = 0x41200000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mf::fp32_mul_dual(ah, al, bh, bl));
+    al += 0x55;
+    bh ^= al & 0x7FFFFF;
+  }
+}
+BENCHMARK(BM_MfModelFp32Dual);
+
+void BM_SoftFloatMul64(benchmark::State& state) {
+  std::uint64_t a = rand_fp64(), b = rand_fp64();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fp::multiply(a, b, fp::kBinary64));
+    a ^= b >> 3;
+    a = (a & ~(0x7FFull << 52)) | (1000ull << 52);
+  }
+}
+BENCHMARK(BM_SoftFloatMul64);
+
+void BM_LevelSimRadix16(benchmark::State& state) {
+  static const auto unit = mult::build_radix16_64();
+  netlist::LevelSim sim(*unit.circuit);
+  std::uint64_t x = rng()(), y = rng()();
+  for (auto _ : state) {
+    sim.set_bus(unit.x, x);
+    sim.set_bus(unit.y, y);
+    sim.eval();
+    benchmark::DoNotOptimize(sim.read_bus(unit.p));
+    x += 0x9E3779B97F4A7C15ull;
+    y ^= x;
+  }
+  state.SetLabel(std::to_string(unit.circuit->size()) + " gates");
+}
+BENCHMARK(BM_LevelSimRadix16);
+
+void BM_EventSimRadix16(benchmark::State& state) {
+  static const auto unit = mult::build_radix16_64();
+  netlist::EventSim sim(*unit.circuit, netlist::TechLib::lp45());
+  std::uint64_t x = rng()(), y = rng()();
+  for (auto _ : state) {
+    sim.set_bus(unit.x, x);
+    sim.set_bus(unit.y, y);
+    sim.cycle();
+    benchmark::DoNotOptimize(sim.read_bus(unit.p));
+    x += 0x9E3779B97F4A7C15ull;
+    y ^= x;
+  }
+}
+BENCHMARK(BM_EventSimRadix16);
+
+void BM_EventSimMfUnitPipelined(benchmark::State& state) {
+  static const auto unit = [] { return mf::build_mf_unit(); }();
+  netlist::EventSim sim(*unit.circuit, netlist::TechLib::lp45());
+  std::uint64_t a = rand_fp64(), b = rand_fp64();
+  for (auto _ : state) {
+    sim.set_bus(unit.a, a);
+    sim.set_bus(unit.b, b);
+    sim.set_bus(unit.frmt, 1);
+    sim.cycle();
+    benchmark::DoNotOptimize(sim.read_bus(unit.ph));
+    a ^= b << 5;
+    a = (a & ~(0x7FFull << 52)) | (1000ull << 52);
+  }
+}
+BENCHMARK(BM_EventSimMfUnitPipelined);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+// Table IV reproduction: IEEE 754-2008 binary interchange format
+// parameters, generated from the fp library's format descriptors.
+#include "bench_common.h"
+#include "fp/format.h"
+
+using namespace mfm;
+
+int main() {
+  bench::header("Table IV -- binary formats in IEEE 754-2008",
+                "Table IV (Sec. III)");
+  bench::Table t;
+  t.row({"parameter", "binary16", "binary32", "binary64", "binary128"});
+  auto row = [&](const char* name, auto get) {
+    std::vector<std::string> cells{name};
+    for (const fp::FormatSpec* f : fp::kAllFormats)
+      cells.push_back(std::to_string(get(*f)));
+    t.row(cells);
+  };
+  row("storage (bits)", [](const fp::FormatSpec& f) { return f.storage_bits; });
+  row("precision (bits)", [](const fp::FormatSpec& f) { return f.precision; });
+  row("exponent length (bits)",
+      [](const fp::FormatSpec& f) { return f.exp_bits; });
+  row("Emax", [](const fp::FormatSpec& f) { return f.emax; });
+  row("bias", [](const fp::FormatSpec& f) { return f.bias; });
+  row("trailing significand f (bits)",
+      [](const fp::FormatSpec& f) { return f.trailing_bits; });
+  t.print();
+  std::printf("\nAll values match IEEE 754-2008 / paper Table IV by "
+              "construction;\nthe gtest suite re-checks them "
+              "(fp_format_test.cpp).\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Example: a little FPU -- multiply-accumulate entirely in gates.
+//
+// The library is a substrate, not just one paper artifact: this example
+// composes the generic binary32 multiplier and the binary32 adder into a
+// multiply-accumulate loop and runs a dot product *entirely at gate level*
+// (every bit of every cycle through the levelized simulator), then checks
+// the result against the host FPU and prints the hardware inventory.
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "mfm.h"
+#include "mult/fp_adder.h"
+#include "mult/fp_multiplier.h"
+
+using namespace mfm;
+
+int main() {
+  std::printf("Gate-level binary32 multiply-accumulate "
+              "(multiplier + adder from the RTL library)\n\n");
+
+  // Build the two units.
+  mult::FpMultiplierOptions mo;
+  mo.format = fp::kBinary32;
+  mo.rounding = mf::MfRounding::NearestEven;  // IEEE-grade MAC
+  const auto mul = mult::build_fp_multiplier(mo);
+  mult::FpAdderOptions ao;
+  ao.format = fp::kBinary32;
+  const auto add = mult::build_fp_adder(ao);
+
+  const auto& lib = netlist::TechLib::lp45();
+  netlist::Sta sta_m(*mul.circuit, lib), sta_a(*add.circuit, lib);
+  netlist::PowerModel pm_m(*mul.circuit, lib), pm_a(*add.circuit, lib);
+  std::printf("  multiplier: %5zu gates, %5.0f NAND2, %4.0f ps\n",
+              mul.circuit->size(), pm_m.area_nand2(), sta_m.max_delay_ps());
+  std::printf("  adder     : %5zu gates, %5.0f NAND2, %4.0f ps\n\n",
+              add.circuit->size(), pm_a.area_nand2(), sta_a.max_delay_ps());
+
+  netlist::LevelSim sm(*mul.circuit);
+  netlist::LevelSim sa(*add.circuit);
+
+  // Dot product, product-then-accumulate each element.
+  const int n = 64;
+  std::mt19937_64 rng(4242);
+  std::uniform_real_distribution<float> dist(-2.0f, 2.0f);
+  std::uint32_t acc = std::bit_cast<std::uint32_t>(0.0f);
+  float ref = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    const float x = dist(rng), y = dist(rng);
+    // gate-level multiply
+    sm.set_bus(mul.a, std::bit_cast<std::uint32_t>(x));
+    sm.set_bus(mul.b, std::bit_cast<std::uint32_t>(y));
+    sm.eval();
+    const auto prod = static_cast<std::uint32_t>(sm.read_bus(mul.p));
+    // gate-level accumulate
+    sa.set_bus(add.a, acc);
+    sa.set_bus(add.b, prod);
+    sa.eval();
+    acc = static_cast<std::uint32_t>(sa.read_bus(add.s));
+    // host reference with identical operation order
+    ref = ref + std::bit_cast<float>(prod);
+  }
+
+  std::printf("  gate-level result : %.9g (0x%08x)\n",
+              std::bit_cast<float>(acc), acc);
+  std::printf("  host  (same order): %.9g (0x%08x)\n", ref,
+              std::bit_cast<std::uint32_t>(ref));
+  const bool exact = acc == std::bit_cast<std::uint32_t>(ref);
+  std::printf("  bit-exact match   : %s\n", exact ? "YES" : "NO");
+  std::printf(
+      "\n(The multiplier runs IEEE ties-to-even via the sticky extension;\n"
+      "the adder is RNE by construction, so the gate-level accumulator\n"
+      "tracks the host FPU bit for bit as long as every intermediate\n"
+      "value stays normal.)\n");
+  return exact ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+// Quickstart: the three operation formats of the multi-format multiplier
+// through the fast bit-exact model (MfModel), plus a peek at the netlist
+// unit and the binary64 -> binary32 reduction.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+
+#include "mfm.h"
+
+int main() {
+  using namespace mfm;
+
+  std::printf("mfm quickstart -- multi-format multiplier "
+              "(Nannarelli, SOCC 2017)\n\n");
+
+  // ---- int64: 64x64 -> 128-bit product ------------------------------------
+  const std::uint64_t x = 0xDEADBEEF12345678ull;
+  const std::uint64_t y = 0xCAFEBABE87654321ull;
+  const u128 p = mf::int64_mul(x, y);
+  std::printf("int64   : 0x%016" PRIx64 " * 0x%016" PRIx64 "\n"
+              "          = %s\n\n", x, y, to_hex(p).c_str());
+
+  // ---- binary64 ------------------------------------------------------------
+  const double a = 1.5, b = -2.25;
+  const std::uint64_t bits =
+      mf::fp64_mul(std::bit_cast<std::uint64_t>(a),
+                   std::bit_cast<std::uint64_t>(b));
+  std::printf("binary64: %g * %g = %g\n", a, b, std::bit_cast<double>(bits));
+  std::printf("          (datapath rounding: round-to-nearest, ties away "
+              "from zero -- Fig. 3)\n\n");
+
+  // ---- two binary32 in parallel (dual lane) --------------------------------
+  const float ah = 3.0f, al = 0.1f, bh = 7.0f, bl = 0.2f;
+  const mf::DualResult d = mf::fp32_mul_dual(
+      std::bit_cast<std::uint32_t>(ah), std::bit_cast<std::uint32_t>(al),
+      std::bit_cast<std::uint32_t>(bh), std::bit_cast<std::uint32_t>(bl));
+  std::printf("fp32x2  : upper %g * %g = %g ; lower %g * %g = %g\n",
+              ah, bh, std::bit_cast<float>(d.hi),
+              al, bl, std::bit_cast<float>(d.lo));
+  std::printf("          (one cycle, both lanes of the sectioned array -- "
+              "Fig. 4)\n\n");
+
+  // ---- binary64 -> binary32 error-free reduction (Sec. IV) ----------------
+  for (const double v : {1234.0, 0.1}) {
+    const auto r = mf::reduce64to32(std::bit_cast<std::uint64_t>(v));
+    if (r)
+      std::printf("reduce  : %g fits binary32 exactly -> 0x%08x (%g)\n", v,
+                  *r, std::bit_cast<float>(*r));
+    else
+      std::printf("reduce  : %g is NOT exactly representable in binary32 -> "
+                  "keep binary64\n", v);
+  }
+
+  // ---- the gate-level unit --------------------------------------------------
+  std::printf("\nBuilding the pipelined gate-level unit (Fig. 5)...\n");
+  const mf::MfUnit unit = mf::build_mf_unit();
+  const auto& lib = netlist::TechLib::lp45();
+  netlist::Sta sta(*unit.circuit, lib);
+  netlist::PowerModel pm(*unit.circuit, lib);
+  std::printf("  %zu gates, %zu flops, %.0f NAND2-eq (%.0f um^2), "
+              "fmax %.0f MHz\n",
+              unit.circuit->size(), unit.circuit->flops().size(),
+              pm.area_nand2(), pm.area_um2(), 1e6 / sta.max_delay_ps());
+
+  // Run one binary64 multiplication through the actual netlist.
+  netlist::LevelSim sim(*unit.circuit);
+  sim.set_port("a", std::bit_cast<std::uint64_t>(a));
+  sim.set_port("b", std::bit_cast<std::uint64_t>(b));
+  sim.set_port("frmt", mf::frmt_bits(mf::Format::Fp64));
+  sim.step();  // stage 1
+  sim.step();  // stage 2
+  sim.eval();  // stage 3 -> outputs valid
+  const double from_netlist = std::bit_cast<double>(
+      static_cast<std::uint64_t>(sim.read_port("ph")));
+  std::printf("  netlist says %g * %g = %g (2-cycle latency, 1 op/cycle "
+              "throughput)\n", a, b, from_netlist);
+  return 0;
+}

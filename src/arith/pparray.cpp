@@ -1,0 +1,70 @@
+#include "arith/pparray.h"
+
+#include <cassert>
+
+namespace mfm::arith {
+
+namespace {
+
+// Left shift that returns 0 once the amount exceeds the 128-bit register
+// (array columns past 127 vanish from the product).
+u128 shl_capped(u128 v, int amount) {
+  return amount >= 128 ? 0 : (v << amount);
+}
+
+}  // namespace
+
+std::vector<u128> multiples(std::uint64_t x, int max_multiple) {
+  std::vector<u128> m(static_cast<std::size_t>(max_multiple) + 1);
+  for (int k = 0; k <= max_multiple; ++k)
+    m[static_cast<std::size_t>(k)] = static_cast<u128>(x) * k;
+  return m;
+}
+
+PPRow encode_row(u128 mag, bool neg, int enc_width) {
+  assert(mag <= mask_bits(enc_width));
+  PPRow r;
+  r.sign = neg;
+  r.encp = (neg ? ~mag : mag) & mask_bits(enc_width);
+  return r;
+}
+
+u128 comp_constant(int n, int g, int columns) {
+  const int rows = n / g + 1;
+  const int w = n + g;
+  u128 k = 0;
+  for (int i = 0; i < rows; ++i) {
+    const int pos = g * i + w - 1;
+    // Positions >= columns (or >= 128) vanish modulo 2^min(columns,128).
+    if (pos < columns) k -= shl_capped(1, pos);
+  }
+  return k & mask_bits(columns);
+}
+
+u128 pp_array_value(std::uint64_t x, std::uint64_t y, int n, int g) {
+  assert(n % g == 0);
+  const int columns = 2 * n;
+  const int w = n + g;
+  const int enc_width = w - 1;
+  const u128 colmask = mask_bits(columns);
+
+  const auto digits = recode(y, n, g);
+  const auto mults = multiples(x, 1 << (g - 1));
+
+  u128 acc = comp_constant(n, g, columns);
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    const Digit d = digits[i];
+    const PPRow row = encode_row(mults[static_cast<std::size_t>(d.magnitude())],
+                                 d.negative(), enc_width);
+    const int off = g * static_cast<int>(i);
+    acc += shl_capped(row.encp, off);                               // enc'
+    acc += shl_capped(row.sign ? 1 : 0, off);                       // +s dot
+    const int sbar_pos = off + enc_width;
+    if (sbar_pos < columns)
+      acc += shl_capped(row.sign ? 0 : 1, sbar_pos);                // !s dot
+    acc &= colmask;
+  }
+  return acc & colmask;
+}
+
+}  // namespace mfm::arith

@@ -1,0 +1,55 @@
+// Word-level partial-product array model with sign-extension compensation.
+//
+// This is the single source of truth for the array arithmetic used by the
+// multiplier netlists.  Each radix-2^g PP row i holds the two's-complement
+// encoding of d_i * X placed at column g*i.  Writing mag = |d_i| * X
+// (always < 2^(W-1) for W = n+g) and s = [d_i < 0], the row's exact value
+//
+//     (-1)^s * mag = enc' + s + !s * 2^(W-1) - 2^(W-1)
+//
+// where enc' is the low W-1 bits of (s ? ~mag : mag).  So the array places
+// per row: the W-1 enc' bits, an s dot at the row LSB (two's-complement
+// +1), an !s dot at column offset+W-1 (sign-extension reduction), and one
+// shared compensation constant  K = sum_i -2^(g*i + W - 1)  (mod 2^cols)
+// (Ercegovac & Lang's standard method, as cited by the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arith/recode.h"
+#include "common/u128.h"
+
+namespace mfm::arith {
+
+/// Low @p w bits mask (w in [0,128]).
+constexpr u128 mask_bits(int w) {
+  return w >= 128 ? ~static_cast<u128>(0)
+                  : ((static_cast<u128>(1) << w) - 1);
+}
+
+/// The multiples {0, X, 2X, ..., 8X} used by PP selection; index by |d|.
+/// Only the odd ones (3X, 5X, 7X) need carry-propagate adders in hardware
+/// (2X, 4X, 6X, 8X are shifts -- paper Sec. II).
+std::vector<u128> multiples(std::uint64_t x, int max_multiple);
+
+/// One encoded PP row: enc' (W-1 bits) and the sign flag.
+struct PPRow {
+  u128 encp = 0;
+  bool sign = false;
+};
+
+/// Encodes mag (must fit enc_width bits) with optional negation.
+PPRow encode_row(u128 mag, bool neg, int enc_width);
+
+/// Compensation constant for an n x n radix-2^g array with rows at
+/// offsets g*i, i = 0 .. n/g, reduced modulo 2^columns.
+u128 comp_constant(int n, int g, int columns);
+
+/// Full word-level array evaluation: recodes y, builds every row, sums
+/// rows + sign dots + compensation modulo 2^(2n).  Equals x*y mod 2^(2n);
+/// the equality is the array's correctness invariant (tested exhaustively
+/// at small n).
+u128 pp_array_value(std::uint64_t x, std::uint64_t y, int n, int g);
+
+}  // namespace mfm::arith

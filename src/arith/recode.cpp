@@ -1,0 +1,39 @@
+#include "arith/recode.h"
+
+#include <cassert>
+
+namespace mfm::arith {
+
+std::vector<Digit> recode(std::uint64_t y, int n, int g) {
+  assert(g >= 1 && g <= 4);
+  assert(n >= g && n <= 64 && n % g == 0);
+  const int groups = n / g;
+  const int radix = 1 << g;
+  const int half = radix / 2;
+
+  std::vector<Digit> out(static_cast<std::size_t>(groups) + 1);
+  int transfer = 0;
+  for (int i = 0; i < groups; ++i) {
+    const int grp =
+        static_cast<int>((y >> (i * g)) & static_cast<std::uint64_t>(radix - 1));
+    const int t_next = grp >= half ? 1 : 0;
+    out[static_cast<std::size_t>(i)].value = grp + transfer - radix * t_next;
+    transfer = t_next;
+  }
+  out[static_cast<std::size_t>(groups)].value = transfer;
+
+#ifndef NDEBUG
+  for (const Digit& d : out)
+    assert(d.value >= -half && d.value <= half);
+#endif
+  return out;
+}
+
+u128 digits_value(const std::vector<Digit>& digits, int g) {
+  i128 acc = 0;
+  for (std::size_t i = digits.size(); i-- > 0;)
+    acc = (acc << g) + digits[i].value;
+  return static_cast<u128>(acc);
+}
+
+}  // namespace mfm::arith

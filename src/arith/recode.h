@@ -1,0 +1,52 @@
+// Word-level multiplier recoding (reference models for the netlists).
+//
+// Carry-free minimally-redundant recoding of an unsigned n-bit operand into
+// radix-2^g digits (paper Sec. II):  groups of g bits are read LSB-first;
+// the transfer digit t_{i+1} is the MSB of group i, so
+//     d_i = group_i + t_i - 2^g * t_{i+1},   d_i in [-2^(g-1), +2^(g-1)],
+// and the top transfer becomes one extra digit in {0, 1}.
+// For g = 2 this coincides with radix-4 modified Booth recoding of the
+// zero-extended operand; for g = 4 it is the paper's radix-16 recoding
+// with digit set {-8..8} and (n/4)+1 = 17 digits at n = 64.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/u128.h"
+
+namespace mfm::arith {
+
+/// One recoded digit.
+struct Digit {
+  int value = 0;  ///< signed digit value
+  /// Magnitude |value| (what the PP mux selects).
+  int magnitude() const { return value < 0 ? -value : value; }
+  bool negative() const { return value < 0; }
+};
+
+/// Recodes the low @p n bits of @p y into radix-2^g digits, LSB digit
+/// first.  Returns ceil(n/g) + 1 digits; the last is the top transfer
+/// (0 or 1).  Requires 1 <= g <= 4 and n a multiple of g.
+std::vector<Digit> recode(std::uint64_t y, int n, int g);
+
+/// Radix-4 Booth digits of an n-bit operand (33 digits at n = 64).
+inline std::vector<Digit> recode_radix4(std::uint64_t y, int n = 64) {
+  return recode(y, n, 2);
+}
+
+/// Radix-8 digits (23 digits at n = 63->? n must be a multiple of 3; use
+/// n = 66 via zero extension for 64-bit operands).
+inline std::vector<Digit> recode_radix8(std::uint64_t y, int n = 66) {
+  return recode(y, n, 3);
+}
+
+/// Radix-16 digits with digit set {-8..8} (17 digits at n = 64).
+inline std::vector<Digit> recode_radix16(std::uint64_t y, int n = 64) {
+  return recode(y, n, 4);
+}
+
+/// Reconstructs sum(d_i * (2^g)^i); used by value-preservation tests.
+u128 digits_value(const std::vector<Digit>& digits, int g);
+
+}  // namespace mfm::arith

@@ -1,0 +1,43 @@
+// 128-bit integer helpers shared across the project.
+//
+// gcc/clang provide __int128; we wrap the spelling and add the few
+// formatting/construction helpers the library needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mfm {
+
+using u128 = unsigned __int128;
+using i128 = __int128;
+
+/// Builds a u128 from high and low 64-bit halves.
+constexpr u128 make_u128(std::uint64_t hi, std::uint64_t lo) {
+  return (static_cast<u128>(hi) << 64) | lo;
+}
+
+constexpr std::uint64_t lo64(u128 v) { return static_cast<std::uint64_t>(v); }
+constexpr std::uint64_t hi64(u128 v) {
+  return static_cast<std::uint64_t>(v >> 64);
+}
+
+/// Hex string "0x...." of a u128 (no leading-zero suppression beyond 1).
+inline std::string to_hex(u128 v) {
+  if (v == 0) return "0x0";
+  char buf[33];
+  int i = 32;
+  buf[i] = '\0';
+  while (v != 0) {
+    buf[--i] = "0123456789abcdef"[static_cast<unsigned>(v & 0xF)];
+    v >>= 4;
+  }
+  return std::string("0x") + &buf[i];
+}
+
+/// Bit i of v as bool.
+constexpr bool bit_of(u128 v, int i) {
+  return ((v >> i) & 1) != 0;
+}
+
+}  // namespace mfm

@@ -1,0 +1,70 @@
+#include "fp/format.h"
+
+#include <cassert>
+
+namespace mfm::fp {
+
+Decoded decode(u128 bits, const FormatSpec& f) {
+  Decoded d;
+  d.sign = (bits & f.sign_bit()) != 0;
+  d.exp_biased = static_cast<std::int32_t>(
+      static_cast<std::uint32_t>(bits >> f.trailing_bits) & f.exp_mask());
+  const u128 frac = bits & f.frac_mask();
+  if (d.exp_biased == 0) {
+    d.significand = frac;
+    d.cls = frac == 0 ? FpClass::Zero : FpClass::Subnormal;
+  } else if (d.exp_biased == static_cast<std::int32_t>(f.exp_mask())) {
+    d.significand = frac;
+    d.cls = frac == 0 ? FpClass::Infinity : FpClass::NaN;
+  } else {
+    d.significand = frac | f.hidden_bit();
+    d.cls = FpClass::Normal;
+  }
+  return d;
+}
+
+u128 encode(const Decoded& d, const FormatSpec& f) {
+  u128 bits = d.sign ? f.sign_bit() : 0;
+  switch (d.cls) {
+    case FpClass::Zero:
+      break;
+    case FpClass::Subnormal:
+      assert(d.significand != 0 && d.significand < f.hidden_bit());
+      bits |= d.significand;
+      break;
+    case FpClass::Normal:
+      assert(d.exp_biased >= 1 &&
+             d.exp_biased < static_cast<std::int32_t>(f.exp_mask()));
+      assert(d.significand >= f.hidden_bit() &&
+             d.significand < (f.hidden_bit() << 1));
+      bits |= static_cast<u128>(static_cast<std::uint32_t>(d.exp_biased))
+              << f.trailing_bits;
+      bits |= d.significand & f.frac_mask();
+      break;
+    case FpClass::Infinity:
+      bits |= static_cast<u128>(f.exp_mask()) << f.trailing_bits;
+      break;
+    case FpClass::NaN:
+      bits |= static_cast<u128>(f.exp_mask()) << f.trailing_bits;
+      bits |= d.significand != 0 ? d.significand
+                                 : (f.hidden_bit() >> 1);  // quiet bit
+      break;
+  }
+  return bits & f.storage_mask();
+}
+
+u128 quiet_nan(const FormatSpec& f) {
+  return (static_cast<u128>(f.exp_mask()) << f.trailing_bits) |
+         (f.hidden_bit() >> 1);
+}
+
+u128 infinity(const FormatSpec& f, bool sign) {
+  return (sign ? f.sign_bit() : 0) |
+         (static_cast<u128>(f.exp_mask()) << f.trailing_bits);
+}
+
+u128 zero(const FormatSpec& f, bool sign) {
+  return sign ? f.sign_bit() : 0;
+}
+
+}  // namespace mfm::fp

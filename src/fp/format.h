@@ -1,0 +1,75 @@
+// IEEE 754-2008 binary interchange formats (paper Table IV).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/u128.h"
+
+namespace mfm::fp {
+
+/// Parameters of one IEEE 754 binary format.
+struct FormatSpec {
+  std::string_view name;
+  int storage_bits;   ///< total encoding width
+  int precision;      ///< significand bits including the hidden bit (p)
+  int exp_bits;       ///< exponent field width
+  int emax;           ///< maximum unbiased exponent
+  int bias;           ///< exponent bias (= emax)
+  int trailing_bits;  ///< fraction field width (p - 1)
+
+  constexpr int emin() const { return 1 - emax; }
+  constexpr std::uint32_t exp_mask() const {
+    return (1u << exp_bits) - 1;
+  }
+  constexpr u128 frac_mask() const {
+    return (static_cast<u128>(1) << trailing_bits) - 1;
+  }
+  constexpr u128 hidden_bit() const {
+    return static_cast<u128>(1) << trailing_bits;
+  }
+  constexpr u128 sign_bit() const {
+    return static_cast<u128>(1) << (storage_bits - 1);
+  }
+  constexpr u128 storage_mask() const {
+    return mfm::u128(storage_bits >= 128
+                         ? ~static_cast<u128>(0)
+                         : (static_cast<u128>(1) << storage_bits) - 1);
+  }
+};
+
+inline constexpr FormatSpec kBinary16{"binary16", 16, 11, 5, 15, 15, 10};
+inline constexpr FormatSpec kBinary32{"binary32", 32, 24, 8, 127, 127, 23};
+inline constexpr FormatSpec kBinary64{"binary64", 64, 53, 11, 1023, 1023, 52};
+inline constexpr FormatSpec kBinary128{"binary128", 128, 113, 15, 16383,
+                                       16383, 112};
+
+/// The four interchange formats in Table IV order.
+inline constexpr const FormatSpec* kAllFormats[] = {&kBinary16, &kBinary32,
+                                                    &kBinary64, &kBinary128};
+
+/// Numeric class of a decoded value.
+enum class FpClass { Zero, Subnormal, Normal, Infinity, NaN };
+
+/// A decoded floating-point value.
+struct Decoded {
+  bool sign = false;
+  std::int32_t exp_biased = 0;  ///< raw biased exponent field
+  u128 significand = 0;         ///< with hidden bit for normals
+  FpClass cls = FpClass::Zero;
+};
+
+/// Decodes raw encoding bits according to @p f.
+Decoded decode(u128 bits, const FormatSpec& f);
+
+/// Encodes a decoded value (fields must be in range for the class).
+u128 encode(const Decoded& d, const FormatSpec& f);
+
+/// Canonical quiet NaN of the format.
+u128 quiet_nan(const FormatSpec& f);
+/// Signed infinity encoding.
+u128 infinity(const FormatSpec& f, bool sign);
+/// Signed zero encoding.
+u128 zero(const FormatSpec& f, bool sign);
+
+}  // namespace mfm::fp

@@ -1,0 +1,317 @@
+#include "fp/softfloat.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+namespace mfm::fp {
+
+namespace {
+
+/// A nonzero finite value normalized to sig in [2^(k-1), 2^k):
+/// value = (-1)^sign * sig * 2^(e - (k - 1)).
+struct Norm {
+  bool sign = false;
+  int e = 0;  ///< unbiased exponent of the leading bit
+  u128 sig = 0;
+};
+
+int top_bit(u128 v) {
+  int b = -1;
+  while (v != 0) {
+    ++b;
+    v >>= 1;
+  }
+  return b;
+}
+
+Norm normalize(const Decoded& d, const FormatSpec& f) {
+  Norm n;
+  n.sign = d.sign;
+  if (d.cls == FpClass::Normal) {
+    n.e = d.exp_biased - f.bias;
+    n.sig = d.significand;
+  } else {  // Subnormal
+    assert(d.cls == FpClass::Subnormal);
+    const int msb = top_bit(d.significand);
+    const int shift = (f.precision - 1) - msb;
+    n.sig = d.significand << shift;
+    n.e = f.emin() - shift;
+  }
+  return n;
+}
+
+/// Rounds and packs (-1)^sign * sig * 2^(e - (k-1)) with sig in
+/// [2^(k-1), 2^k) into format @p f, raising flags.
+FpResult round_pack(bool sign, int e, u128 sig, int k, const FormatSpec& f,
+                    Rounding rounding) {
+  FpResult r;
+  const int p = f.precision;
+
+  // Width adjustment: bring the significand to p bits (plus discarded part).
+  int shift = k - p;                 // >0: narrowing, <0: widening
+  if (shift < 0) {
+    sig <<= -shift;
+    shift = 0;
+    k = p;
+  }
+
+  // Subnormal range: if the result exponent would fall below emin, shift
+  // further right so the kept part aligns to the subnormal grid.
+  int eb = e + f.bias;  // tentative biased exponent of the leading bit
+  if (eb < 1) {
+    shift += 1 - eb;
+    eb = 1;
+  }
+
+  u128 kept, rem;
+  bool ge_half, eq_half;
+  if (shift > 2 * k + 2 || shift >= 127) {
+    kept = 0;
+    rem = sig;
+    ge_half = false;  // everything shifted far below the half position
+    eq_half = false;
+  } else {
+    kept = sig >> shift;
+    rem = shift == 0 ? 0 : (sig & ((static_cast<u128>(1) << shift) - 1));
+    if (shift == 0) {
+      ge_half = eq_half = false;
+    } else {
+      const u128 half = static_cast<u128>(1) << (shift - 1);
+      ge_half = rem >= half;
+      eq_half = rem == half;
+    }
+  }
+  r.flags.inexact = rem != 0;
+
+  switch (rounding) {
+    case Rounding::NearestEven:
+      if (ge_half && (!eq_half || (kept & 1) != 0)) ++kept;
+      break;
+    case Rounding::NearestTiesUp:
+      if (ge_half) ++kept;
+      break;
+    case Rounding::TowardZero:
+      break;
+  }
+  if (kept == (f.hidden_bit() << 1)) {  // rounding carried out of the MSB
+    kept >>= 1;
+    ++eb;
+  }
+
+  // Overflow.
+  if (kept >= f.hidden_bit() &&
+      eb >= static_cast<int>(f.exp_mask())) {
+    r.flags.overflow = true;
+    r.flags.inexact = true;
+    if (rounding == Rounding::TowardZero) {
+      // Largest finite value.
+      Decoded d;
+      d.sign = sign;
+      d.cls = FpClass::Normal;
+      d.exp_biased = static_cast<std::int32_t>(f.exp_mask()) - 1;
+      d.significand = f.hidden_bit() | f.frac_mask();
+      r.bits = encode(d, f);
+    } else {
+      r.bits = infinity(f, sign);
+    }
+    return r;
+  }
+
+  Decoded d;
+  d.sign = sign;
+  if (kept == 0) {
+    d.cls = FpClass::Zero;
+    r.flags.underflow = r.flags.inexact;
+  } else if (kept < f.hidden_bit()) {
+    d.cls = FpClass::Subnormal;
+    d.significand = kept;
+    r.flags.underflow = r.flags.inexact;
+  } else {
+    d.cls = FpClass::Normal;
+    d.exp_biased = eb;
+    d.significand = kept;
+  }
+  r.bits = encode(d, f);
+  return r;
+}
+
+}  // namespace
+
+FpResult multiply(u128 a, u128 b, const FormatSpec& f, Rounding rounding) {
+  const Decoded da = decode(a, f);
+  const Decoded db = decode(b, f);
+  FpResult r;
+  const bool sign = da.sign != db.sign;
+
+  if (da.cls == FpClass::NaN || db.cls == FpClass::NaN) {
+    r.bits = quiet_nan(f);
+    return r;
+  }
+  if (da.cls == FpClass::Infinity || db.cls == FpClass::Infinity) {
+    if (da.cls == FpClass::Zero || db.cls == FpClass::Zero) {
+      r.bits = quiet_nan(f);
+      r.flags.invalid = true;
+      return r;
+    }
+    r.bits = infinity(f, sign);
+    return r;
+  }
+  if (da.cls == FpClass::Zero || db.cls == FpClass::Zero) {
+    r.bits = zero(f, sign);
+    return r;
+  }
+
+  const Norm na = normalize(da, f);
+  const Norm nb = normalize(db, f);
+  const int p = f.precision;
+  assert(2 * p <= 128);
+  const u128 prod = na.sig * nb.sig;  // in [2^(2p-2), 2^(2p))
+  const bool hi = (prod >> (2 * p - 1)) != 0;
+  const int e = na.e + nb.e + (hi ? 1 : 0);
+  // prod is (2p) or (2p-1) bits; round_pack handles either k.
+  return round_pack(sign, e, prod, hi ? 2 * p : 2 * p - 1, f, rounding);
+}
+
+FpResult add(u128 a, u128 b, const FormatSpec& f, Rounding rounding) {
+  assert(f.precision <= 60 && "128-bit intermediate too narrow");
+  const Decoded da = decode(a, f);
+  const Decoded db = decode(b, f);
+  FpResult r;
+
+  if (da.cls == FpClass::NaN || db.cls == FpClass::NaN) {
+    r.bits = quiet_nan(f);
+    return r;
+  }
+  if (da.cls == FpClass::Infinity || db.cls == FpClass::Infinity) {
+    if (da.cls == FpClass::Infinity && db.cls == FpClass::Infinity &&
+        da.sign != db.sign) {
+      r.bits = quiet_nan(f);
+      r.flags.invalid = true;
+      return r;
+    }
+    r.bits = infinity(f, da.cls == FpClass::Infinity ? da.sign : db.sign);
+    return r;
+  }
+  if (da.cls == FpClass::Zero && db.cls == FpClass::Zero) {
+    // IEEE: +0 + -0 = +0 (except toward-negative, which we don't offer).
+    r.bits = zero(f, da.sign && db.sign);
+    return r;
+  }
+  if (da.cls == FpClass::Zero) {
+    r.bits = b;
+    return r;
+  }
+  if (db.cls == FpClass::Zero) {
+    r.bits = a;
+    return r;
+  }
+
+  // Fixed-point alignment with a jammed sticky bit: everything is shifted
+  // up by one extra position so the sticky occupies a dedicated LSB below
+  // every guard/tie boundary; the larger operand leads by
+  // min(exp_diff, p+2) positions and whatever the smaller operand has
+  // below that window collapses into the sticky.  Classical jamming keeps
+  // every rounding decision exact.
+  const Norm na = normalize(da, f);
+  const Norm nb = normalize(db, f);
+  const Norm& big = (na.e > nb.e || (na.e == nb.e && na.sig >= nb.sig))
+                        ? na
+                        : nb;
+  const Norm& small = (&big == &na) ? nb : na;
+  const int diff = big.e - small.e;
+  const int shift = std::min(diff, f.precision + 2);
+  const u128 big_fx = big.sig << (shift + 1);
+  u128 small_fx = small.sig << 1;
+  if (diff > shift) {
+    const int extra = diff - shift;
+    const u128 dropped =
+        extra >= 127 ? small_fx
+                     : (small_fx & ((static_cast<u128>(1) << extra) - 1));
+    small_fx = extra >= 127 ? 0 : (small_fx >> extra);
+    if (dropped != 0) small_fx |= 1;  // jammed sticky
+  }
+
+  const bool sign = big.sign;
+  const u128 mag = big.sign == small.sign
+                       ? big_fx + small_fx
+                       : big_fx - small_fx;  // big_fx >= small_fx
+  if (mag == 0) {
+    r.bits = zero(f, false);  // exact cancellation -> +0 (RNE family)
+    return r;
+  }
+  const int msb = top_bit(mag);
+  // big.sig's leading bit (p-1) sits at fixed-point bit (p-1)+shift+1 and
+  // carries exponent big.e, so bit w weighs 2^(big.e-(p-1)-shift-1+w).
+  const int e = big.e - (f.precision - 1) - shift - 1 + msb;
+  return round_pack(sign, e, mag, msb + 1, f, rounding);
+}
+
+FpResult subtract(u128 a, u128 b, const FormatSpec& f, Rounding rounding) {
+  return add(a, b ^ f.sign_bit(), f, rounding);
+}
+
+FpResult convert(u128 a, const FormatSpec& from, const FormatSpec& to,
+                 Rounding rounding) {
+  const Decoded d = decode(a, from);
+  FpResult r;
+  switch (d.cls) {
+    case FpClass::NaN:
+      r.bits = quiet_nan(to);
+      return r;
+    case FpClass::Infinity:
+      r.bits = infinity(to, d.sign);
+      return r;
+    case FpClass::Zero:
+      r.bits = zero(to, d.sign);
+      return r;
+    default:
+      break;
+  }
+  const Norm n = normalize(d, from);
+  return round_pack(n.sign, n.e, n.sig, from.precision, to, rounding);
+}
+
+bool exactly_convertible(u128 a, const FormatSpec& from,
+                         const FormatSpec& to) {
+  const Decoded d = decode(a, from);
+  if (d.cls == FpClass::Zero) return true;
+  if (d.cls != FpClass::Normal) return false;
+  const FpResult fwd = convert(a, from, to);
+  if (fwd.flags.inexact || fwd.flags.overflow || fwd.flags.underflow)
+    return false;
+  // Must land on a *normal* target value (the paper's reduction excludes
+  // subnormal binary32 results).
+  return decode(fwd.bits, to).cls == FpClass::Normal;
+}
+
+float mul_f32(float a, float b, Rounding r) {
+  const auto ab = std::bit_cast<std::uint32_t>(a);
+  const auto bb = std::bit_cast<std::uint32_t>(b);
+  const FpResult res = multiply(ab, bb, kBinary32, r);
+  return std::bit_cast<float>(static_cast<std::uint32_t>(res.bits));
+}
+
+double mul_f64(double a, double b, Rounding r) {
+  const auto ab = std::bit_cast<std::uint64_t>(a);
+  const auto bb = std::bit_cast<std::uint64_t>(b);
+  const FpResult res = multiply(ab, bb, kBinary64, r);
+  return std::bit_cast<double>(static_cast<std::uint64_t>(res.bits));
+}
+
+float add_f32(float a, float b, Rounding r) {
+  const auto ab = std::bit_cast<std::uint32_t>(a);
+  const auto bb = std::bit_cast<std::uint32_t>(b);
+  const FpResult res = add(ab, bb, kBinary32, r);
+  return std::bit_cast<float>(static_cast<std::uint32_t>(res.bits));
+}
+
+double add_f64(double a, double b, Rounding r) {
+  const auto ab = std::bit_cast<std::uint64_t>(a);
+  const auto bb = std::bit_cast<std::uint64_t>(b);
+  const FpResult res = add(ab, bb, kBinary64, r);
+  return std::bit_cast<double>(static_cast<std::uint64_t>(res.bits));
+}
+
+}  // namespace mfm::fp

@@ -1,0 +1,68 @@
+// Software IEEE 754 arithmetic: multiplication and format conversion.
+//
+// Serves two roles:
+//  * full IEEE reference (round-to-nearest-even, subnormals, specials) used
+//    to verify the hardware models and to quantify where the paper's unit
+//    deviates from IEEE (it has no sticky path and no subnormal support);
+//  * "paper mode": NearestTiesUp rounding on normal operands reproduces the
+//    MFmult datapath bit-for-bit (inject 1 below the kept LSB + truncate,
+//    Fig. 3).
+#pragma once
+
+#include <cstdint>
+
+#include "fp/format.h"
+
+namespace mfm::fp {
+
+/// Rounding attribute.
+enum class Rounding {
+  NearestEven,    ///< IEEE 754 roundTiesToEven
+  NearestTiesUp,  ///< ties away from zero -- the paper unit's rounding
+  TowardZero,     ///< truncate
+};
+
+/// IEEE exception flags raised by an operation.
+struct Flags {
+  bool invalid = false;
+  bool overflow = false;
+  bool underflow = false;
+  bool inexact = false;
+};
+
+/// Result bits plus flags.
+struct FpResult {
+  u128 bits = 0;
+  Flags flags;
+};
+
+/// Fully-featured multiplication a*b in format @p f (specials, subnormals).
+FpResult multiply(u128 a, u128 b, const FormatSpec& f,
+                  Rounding rounding = Rounding::NearestEven);
+
+/// Fully-featured addition a+b (specials, subnormals, signed zeros).
+/// Supported for formats with precision <= 60 (binary16/32/64); the
+/// binary128 sum does not fit the 128-bit fixed-point intermediate.
+FpResult add(u128 a, u128 b, const FormatSpec& f,
+             Rounding rounding = Rounding::NearestEven);
+
+/// a - b via add() with the sign of b flipped.
+FpResult subtract(u128 a, u128 b, const FormatSpec& f,
+                  Rounding rounding = Rounding::NearestEven);
+
+/// Conversion between formats (exact when widening normals in range).
+FpResult convert(u128 a, const FormatSpec& from, const FormatSpec& to,
+                 Rounding rounding = Rounding::NearestEven);
+
+/// True iff convert(a, from, to) would be exact and representable as a
+/// normal (or zero) value of @p to -- the "error-free reduction" predicate
+/// generalizing the paper's Algorithm 1.
+bool exactly_convertible(u128 a, const FormatSpec& from, const FormatSpec& to);
+
+/// Host-type conveniences (bit-level, via std::bit_cast).
+float mul_f32(float a, float b, Rounding r = Rounding::NearestEven);
+double mul_f64(double a, double b, Rounding r = Rounding::NearestEven);
+float add_f32(float a, float b, Rounding r = Rounding::NearestEven);
+double add_f64(double a, double b, Rounding r = Rounding::NearestEven);
+
+}  // namespace mfm::fp

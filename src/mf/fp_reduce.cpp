@@ -1,0 +1,81 @@
+#include "mf/fp_reduce.h"
+
+#include "rtl/adders.h"
+#include "rtl/mux.h"
+
+namespace mfm::mf {
+
+std::optional<std::uint32_t> reduce64to32(std::uint64_t bits64) {
+  const std::uint32_t e64 = static_cast<std::uint32_t>((bits64 >> 52) & 0x7FF);
+  const std::uint64_t frac = bits64 & ((1ull << 52) - 1);
+  const bool sign = (bits64 >> 63) != 0;
+
+  const bool exp_low_ok = e64 >= 897;    // E_b32 = E_b64 - 896 >= 1
+  const bool exp_high_ok = e64 <= 1150;  // E_b64 - 1151 < 0
+  const bool frac_ok = (frac & ((1ull << 29) - 1)) == 0;
+  if (!(exp_low_ok && exp_high_ok && frac_ok)) return std::nullopt;
+
+  const std::uint32_t e32 = e64 - 896;
+  return (static_cast<std::uint32_t>(sign) << 31) | (e32 << 23) |
+         static_cast<std::uint32_t>(frac >> 29);
+}
+
+void build_reduce_logic(netlist::Circuit& c, const netlist::Bus& in64,
+                        netlist::Bus& out32, netlist::NetId& reduce) {
+  using netlist::Bus;
+  using netlist::NetId;
+  netlist::Circuit::Scope scope(c, "reduce64to32");
+
+  const Bus e64 = netlist::slice(in64, 52, 11);
+  const NetId sign = in64[63];
+
+  // E_b32 = E_b64 - 896: the 7 LSBs of -896 are zero, so only the top four
+  // exponent bits enter the subtraction; a 5-bit result d = E[10:7] - 7
+  // keeps the borrow (paper's "5-bit CPA").
+  const Bus e_top = netlist::slice(e64, 7, 4);
+  // d = e_top + 0b11001 (two's complement of 7 over 5 bits, e_top zext).
+  const auto d =
+      rtl::add_constant(c, netlist::zext(c, e_top, 5), 0b11001u,
+                        rtl::PrefixKind::BrentKung);
+  const NetId d_neg = d.sum[4];  // E_b64 < 896
+  // E_b32 == 0 requires d == 0 and E[6:0] == 0.
+  const NetId d_zero = rtl::equals_constant(c, d.sum, 0);
+  const Bus e_low7 = netlist::slice(e64, 0, 7);
+  std::vector<NetId> low_terms(e_low7.begin(), e_low7.end());
+  const NetId low_nonzero = rtl::or_tree(c, low_terms);
+  // c1: E_b32 >= 1.
+  const NetId c1 =
+      c.andnot2(c.ornot2(low_nonzero, d_zero), d_neg);
+
+  // c2: E_b64 - 1151 < 0, via a 12-bit addition with -1151 = 0xB81.
+  const auto diff = rtl::add_constant(c, netlist::zext(c, e64, 12), 0xB81u,
+                                      rtl::PrefixKind::BrentKung);
+  const NetId c2 = diff.sum[11];
+
+  // zero-check of the 29 low fraction bits (OR tree over M0..M28).
+  const Bus m_low = netlist::slice(in64, 0, 29);
+  std::vector<NetId> m_terms(m_low.begin(), m_low.end());
+  const NetId m_nonzero = rtl::or_tree(c, m_terms);
+
+  reduce = c.and3(c1, c2, c.not_(m_nonzero));
+
+  // Packed binary32: {sign, E_b32[7:0], M[51:29]}.
+  out32.clear();
+  for (int i = 29; i < 52; ++i) out32.push_back(in64[i]);  // fraction
+  for (int i = 0; i < 7; ++i) out32.push_back(e64[i]);     // E_b32[6:0]
+  out32.push_back(d.sum[0]);                               // E_b32[7]
+  out32.push_back(sign);
+}
+
+ReduceUnit build_reduce_unit() {
+  ReduceUnit u;
+  u.circuit = std::make_unique<netlist::Circuit>();
+  netlist::Circuit& c = *u.circuit;
+  u.in64 = c.input_bus("in64", 64);
+  build_reduce_logic(c, u.in64, u.out32, u.reduce);
+  c.output_bus("out32", u.out32);
+  c.output("reduce", u.reduce);
+  return u;
+}
+
+}  // namespace mfm::mf

@@ -1,0 +1,44 @@
+// Error-free binary64 -> binary32 reduction (paper Sec. IV, Algorithm 1,
+// Fig. 6): a binary64 operand whose significand fits in 24 bits and whose
+// exponent is in binary32 normal range is converted exactly, so the
+// multiplication can be issued on a (cheaper) binary32 lane.
+//
+// Hardware: a 5-bit CPA computes E_b32 = E_b64 - 896 (the 7 LSBs of -896
+// are zero), a 12-bit CPA checks E_b64 - 1151 < 0, and an OR tree checks
+// that the 29 low fraction bits are zero.  One deviation from the paper's
+// text: "E_b32 must be positive" is implemented as E_b32 >= 1 including
+// the E_b64 = 896 boundary (E_b32 = 0 would alias a subnormal encoding);
+// the paper's sign-bit-only check would mis-reduce that single exponent.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "netlist/bus.h"
+#include "netlist/circuit.h"
+
+namespace mfm::mf {
+
+/// Word-level model: returns the binary32 encoding when the reduction is
+/// error-free, std::nullopt when the operand must stay binary64.
+std::optional<std::uint32_t> reduce64to32(std::uint64_t bits64);
+
+/// The reduction-unit netlist (Fig. 6) and its ports.
+struct ReduceUnit {
+  std::unique_ptr<netlist::Circuit> circuit;
+  netlist::Bus in64;     ///< 64-bit binary64 input
+  netlist::Bus out32;    ///< binary32 encoding (valid when reduce is high)
+  netlist::NetId reduce; ///< high when the reduction is error-free
+};
+
+/// Builds the standalone reduction unit.
+ReduceUnit build_reduce_unit();
+
+/// Builds the reduction logic inside an existing circuit (for integration
+/// into the multi-format unit's input formatter); returns the output bus
+/// and flag through @p out32 / @p reduce.
+void build_reduce_logic(netlist::Circuit& c, const netlist::Bus& in64,
+                        netlist::Bus& out32, netlist::NetId& reduce);
+
+}  // namespace mfm::mf

@@ -1,0 +1,79 @@
+// MfModel: bit-exact word-level model of the multi-format multiplier.
+//
+// This is the library's primary functional API.  It reproduces the paper's
+// datapath (Sec. III) operation for operation:
+//  * int64   -- 64x64 -> 128-bit unsigned product,
+//  * fp64    -- one binary64 multiplication,
+//  * fp32x2  -- two independent binary32 multiplications in the sectioned
+//              array (issue one with a zeroed upper lane for fp32 single).
+//
+// Faithfulness notes (all paper limitations are reproduced deliberately):
+//  * rounding is round-to-nearest with ties away from zero: the hardware
+//    injects a '1' just below the kept LSB (R1/R0, Fig. 3) and truncates;
+//    there is no sticky bit, so IEEE ties-to-even differs on exact ties;
+//  * subnormal operands are taken with an implicit integer bit of 0 only
+//    when the biased exponent is 0 (paper Sec. III-A) and results are not
+//    renormalized; subnormal/overflow cases are NOT IEEE-correct;
+//  * exponents are computed modulo 2^11 (binary64) / 2^8 (binary32) with
+//    no overflow or special-value handling, exactly like the S&EH adders.
+// Use fp::multiply() for a fully IEEE-compliant reference.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "common/u128.h"
+
+namespace mfm::mf {
+
+/// Operation formats of the unit (input `frmt` in Fig. 5).
+enum class Format : std::uint8_t {
+  Int64 = 0,
+  Fp64 = 1,
+  Fp32Dual = 2,
+};
+
+/// Rounding behaviour of the FP datapath.
+enum class MfRounding : std::uint8_t {
+  /// The paper's unit: inject-1-and-truncate = round-to-nearest with ties
+  /// away from zero; no sticky path (Sec. III-A).
+  PaperTiesUp,
+  /// Extension (the paper lists the sticky bit as future work): a sticky
+  /// OR tree over the discarded product bits plus an LSB fix turns the
+  /// injected rounding into IEEE 754 roundTiesToEven.
+  NearestEven,
+};
+
+/// Result of one dual-lane binary32 operation.
+struct DualResult {
+  std::uint32_t hi;  ///< upper-lane product (operands in bits 63..32)
+  std::uint32_t lo;  ///< lower-lane product (operands in bits 31..0)
+};
+
+/// 128-bit unsigned product (int64 mode).
+u128 int64_mul(std::uint64_t x, std::uint64_t y);
+
+/// binary64 multiplication through the paper datapath (see header notes).
+std::uint64_t fp64_mul(std::uint64_t a_bits, std::uint64_t b_bits,
+                       MfRounding rounding = MfRounding::PaperTiesUp);
+
+/// Two binary32 multiplications: hi = a_hi * b_hi, lo = a_lo * b_lo.
+DualResult fp32_mul_dual(std::uint32_t a_hi, std::uint32_t a_lo,
+                         std::uint32_t b_hi, std::uint32_t b_lo,
+                         MfRounding rounding = MfRounding::PaperTiesUp);
+
+/// Single binary32 multiplication (dual-lane datapath, upper lane zeroed --
+/// the configuration measured as "binary32 (single)" in Table V).
+std::uint32_t fp32_mul(std::uint32_t a, std::uint32_t b,
+                       MfRounding rounding = MfRounding::PaperTiesUp);
+
+/// Raw 64-bit operand-word interface mirroring the hardware ports
+/// (PH/PL outputs of Fig. 5).
+struct Ports {
+  std::uint64_t ph = 0;
+  std::uint64_t pl = 0;
+};
+Ports execute(Format frmt, std::uint64_t a, std::uint64_t b,
+              MfRounding rounding = MfRounding::PaperTiesUp);
+
+}  // namespace mfm::mf

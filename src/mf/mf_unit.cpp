@@ -1,0 +1,477 @@
+#include "mf/mf_unit.h"
+
+#include <cassert>
+
+#include "arith/pparray.h"
+#include "mf/fp_reduce.h"
+#include "mult/ppgen.h"
+#include "rtl/adders.h"
+#include "rtl/csa.h"
+#include "rtl/mux.h"
+#include "rtl/pptree.h"
+
+namespace mfm::mf {
+
+namespace {
+
+using mult::DigitNets;
+
+// Dual-mode array geometry (paper Fig. 4, validated in word domain):
+// lower lane rows 0..6 (24-bit operands at bit 0, enc' width 27),
+// upper lane rows 8..14 (operands at bit 32, enc' field at row offset+32),
+// rows 7/15/16 are dynamically zero in dual mode.
+constexpr int kLowRows[] = {0, 1, 2, 3, 4, 5, 6};
+constexpr int kUpRows[] = {8, 9, 10, 11, 12, 13, 14};
+constexpr int kEncW = 67;     // normal-mode enc' width (n + g - 1)
+constexpr int kEncWDual = 27; // per-lane enc' width (24 + 4 - 1)
+
+bool is_low_row(int i) { return i <= 6; }
+bool is_up_row(int i) { return i >= 8 && i <= 14; }
+
+// Compensation constant of the dual-lane arrangement: per-lane constants
+// reduced modulo the lane (lower mod 2^64; upper confined to bits >= 64).
+u128 dual_comp_constant() {
+  u128 klow = 0;
+  for (int i : kLowRows) klow -= static_cast<u128>(1) << (4 * i + kEncWDual);
+  klow &= arith::mask_bits(64);
+  u128 kup = 0;
+  for (int i : kUpRows)
+    kup -= static_cast<u128>(1) << (4 * i + 32 + kEncWDual);
+  // kup mod 2^128 has no bits below 64 (smallest term is 2^91).
+  assert((kup & arith::mask_bits(64)) == 0);
+  return kup | klow;
+}
+
+// Hidden/integer bit: 1 iff the biased exponent field is nonzero
+// (paper Sec. III-A).
+NetId hidden_bit(Circuit& c, const Bus& exp_field) {
+  std::vector<NetId> t(exp_field.begin(), exp_field.end());
+  return rtl::or_tree(c, t);
+}
+
+// Packs operand word `w` into the 64-bit significand datapath according to
+// the (effective) format nets.
+Bus format_operand(Circuit& c, const Bus& w, NetId is_fp64, NetId is_dual) {
+  const NetId h64 = hidden_bit(c, netlist::slice(w, 52, 11));
+  const NetId h32u = hidden_bit(c, netlist::slice(w, 55, 8));
+  const NetId h32l = hidden_bit(c, netlist::slice(w, 23, 8));
+  const NetId is_fp = c.or2(is_fp64, is_dual);
+
+  Bus x(64);
+  for (int j = 0; j < 64; ++j) {
+    const NetId aj = w[static_cast<std::size_t>(j)];
+    NetId out;
+    if (j <= 22 || (j >= 32 && j <= 51)) {
+      out = aj;  // fraction bits shared by every format
+    } else if (j == 23) {
+      out = c.mux2(aj, h32l, is_dual);  // lower-lane integer bit
+    } else if (j <= 31) {
+      out = c.andnot2(aj, is_dual);  // inter-lane gap
+    } else if (j == 52) {
+      out = c.mux2(aj, h64, is_fp64);  // binary64 integer bit
+    } else if (j <= 54) {
+      out = c.andnot2(aj, is_fp64);  // above binary64 significand
+    } else if (j == 55) {
+      out = c.mux2(c.andnot2(aj, is_fp64), h32u, is_dual);  // upper int bit
+    } else {
+      out = c.andnot2(aj, is_fp);  // above both FP significands
+    }
+    x[static_cast<std::size_t>(j)] = out;
+  }
+  return x;
+}
+
+// Places one PP row into the matrix with the mode-dependent geometry
+// described in DESIGN.md: shared enc' bits where the two modes agree,
+// blanking (AND-NOT dual) where only the normal mode has a dot, and a mux
+// where the dual mode replaces an enc' bit with its !s dot.
+void place_mf_row(Circuit& c, rtl::BitMatrix& m, int row, const Bus& encp,
+                  NetId sign, NetId is_dual) {
+  const int off = 4 * row;
+  const NetId nsign = c.not_(sign);
+  auto dot = [&](int col, NetId n) { mult::add_dot(c, m, col, n); };
+
+  if (is_low_row(row)) {
+    for (int j = 0; j < kEncW; ++j) {
+      const NetId e = encp[static_cast<std::size_t>(j)];
+      if (j < kEncWDual) {
+        dot(off + j, e);  // shared
+      } else if (j == kEncWDual) {
+        dot(off + j, c.mux2(e, nsign, is_dual));  // dual-lane !s position
+      } else {
+        dot(off + j, c.andnot2(e, is_dual));  // normal-mode only
+      }
+    }
+    dot(off, sign);                                      // +s (both modes)
+    dot(off + kEncW, c.andnot2(nsign, is_dual));         // normal !s
+  } else if (is_up_row(row)) {
+    for (int j = 0; j < kEncW; ++j) {
+      const NetId e = encp[static_cast<std::size_t>(j)];
+      if (j >= 32 && j < 32 + kEncWDual) {
+        dot(off + j, e);  // shared (upper-lane field)
+      } else if (j == 32 + kEncWDual) {
+        dot(off + j, c.mux2(e, nsign, is_dual));  // dual !s position
+      } else {
+        dot(off + j, c.andnot2(e, is_dual));  // lower-multiple bits etc.
+      }
+    }
+    dot(off, c.andnot2(sign, is_dual));       // normal-mode +s
+    dot(off + 32, c.and2(sign, is_dual));     // dual-mode +s
+    dot(off + kEncW, c.andnot2(nsign, is_dual));  // normal !s
+  } else {
+    // Rows 7, 15, 16: dynamically zero in dual mode (the input formatter
+    // zeroes multiplier bits 24..31 and 56..63), so enc'/+s need no gates;
+    // only the constant-carrying !s dot must be blanked.
+    for (int j = 0; j < kEncW; ++j)
+      dot(off + j, encp[static_cast<std::size_t>(j)]);
+    dot(off, sign);
+    dot(off + kEncW, c.andnot2(nsign, is_dual));
+  }
+}
+
+// Mode-muxed compensation constants.
+void place_mf_constants(Circuit& c, rtl::BitMatrix& m, NetId is_dual) {
+  const u128 kn = arith::comp_constant(64, 4, 128);
+  const u128 kd = dual_comp_constant();
+  for (int j = 0; j < 128; ++j) {
+    const bool bn = bit_of(kn, j);
+    const bool bd = bit_of(kd, j);
+    if (bn && bd)
+      m.add_bit(j, c.const1());
+    else if (bn)
+      m.add_bit(j, c.not_(is_dual));
+    else if (bd)
+      m.add_bit(j, is_dual);
+  }
+}
+
+// One CSA row folding a sparse injection vector R into the redundant pair
+// (Fig. 3: "one full-adder and 74 half-adders" per row -- positions where
+// R is constant 0 fold to half adders automatically).
+rtl::Redundant csa_row(Circuit& c, const rtl::Redundant& in, const Bus& r,
+                       NetId kill_carry_into_64) {
+  rtl::Redundant out;
+  const std::size_t w = in.sum.size();
+  out.sum.resize(w);
+  out.carry.assign(w, c.const0());
+  for (std::size_t i = 0; i < w; ++i) {
+    const rtl::SumCarry sc =
+        rtl::full_adder(c, in.sum[i], in.carry[i], r[i]);
+    out.sum[i] = sc.sum;
+    if (i + 1 < w) {
+      NetId carry = sc.carry;
+      if (i + 1 == 64) carry = c.andnot2(carry, kill_carry_into_64);
+      out.carry[i + 1] = carry;
+    }
+  }
+  return out;
+}
+
+// Lane-splittable 128-bit carry-propagate adder: the carry into bit 64 is
+// killed in dual mode so the two lanes round independently (Sec. III-B).
+Bus split_cpa(Circuit& c, const rtl::Redundant& in, NetId is_dual) {
+  const Bus s_lo = netlist::slice(in.sum, 0, 64);
+  const Bus c_lo = netlist::slice(in.carry, 0, 64);
+  const Bus s_hi = netlist::slice(in.sum, 64, 64);
+  const Bus c_hi = netlist::slice(in.carry, 64, 64);
+  const auto lo =
+      rtl::prefix_adder(c, s_lo, c_lo, c.const0(), rtl::PrefixKind::KoggeStone);
+  const NetId cin_hi = c.andnot2(lo.carry_out, is_dual);
+  const auto hi =
+      rtl::prefix_adder(c, s_hi, c_hi, cin_hi, rtl::PrefixKind::KoggeStone);
+  return netlist::concat(lo.sum, hi.sum);
+}
+
+}  // namespace
+
+MfUnit build_mf_unit(const MfOptions& options) {
+  MfUnit unit;
+  unit.options = options;
+  unit.circuit = std::make_unique<Circuit>();
+  Circuit& c = *unit.circuit;
+  const bool piped = options.pipeline != MfPipeline::Combinational;
+
+  unit.a = c.input_bus("a", 64);
+  unit.b = c.input_bus("b", 64);
+  unit.frmt = c.input_bus("frmt", 2);
+
+  // ---------------- stage 1: formatters, pre-computation, recoding --------
+  NetId is_fp64 = unit.frmt[0];
+  NetId is_dual = unit.frmt[1];
+  const NetId is_int = c.nor2(unit.frmt[0], unit.frmt[1]);
+
+  Bus a_eff = unit.a;
+  Bus b_eff = unit.b;
+  NetId do_reduce = c.const0();
+  if (options.with_reduction) {
+    // Sec. IV integration: when both binary64 operands reduce error-free to
+    // binary32, execute on the (lower) binary32 lane instead.
+    Bus a32, b32;
+    NetId ra = netlist::kNoNet, rb = netlist::kNoNet;
+    build_reduce_logic(c, unit.a, a32, ra);
+    build_reduce_logic(c, unit.b, b32, rb);
+    Circuit::Scope scope(c, "reduce64to32");
+    do_reduce = c.and3(ra, rb, is_fp64);
+    a_eff = netlist::mux2_bus(c, unit.a, netlist::zext(c, a32, 64), do_reduce);
+    b_eff = netlist::mux2_bus(c, unit.b, netlist::zext(c, b32, 64), do_reduce);
+    is_dual = c.or2(is_dual, do_reduce);
+    is_fp64 = c.andnot2(is_fp64, do_reduce);
+  }
+
+  Bus x, y;
+  {
+    Circuit::Scope scope(c, "informat");
+    x = format_operand(c, a_eff, is_fp64, is_dual);
+    y = format_operand(c, b_eff, is_fp64, is_dual);
+  }
+
+  auto digits = mult::build_recoder(c, y, 4);
+  auto multiples =
+      mult::build_multiples(c, x, 4, rtl::PrefixKind::BrentKung);
+
+  // Sign and exponent handling, first half (Fig. 5 "Exp add").  The 11-bit
+  // path is shared by binary64 and the upper binary32 lane; the lower lane
+  // has its own 8-bit path (Sec. III-C).
+  Bus ep_hi, ep_lo;
+  NetId sign_hi, sign_lo;
+  {
+    Circuit::Scope scope(c, "seh");
+    const Bus ea_hi = netlist::mux2_bus(
+        c, netlist::slice(a_eff, 52, 11),
+        netlist::zext(c, netlist::slice(a_eff, 55, 8), 11), is_dual);
+    const Bus eb_hi = netlist::mux2_bus(
+        c, netlist::slice(b_eff, 52, 11),
+        netlist::zext(c, netlist::slice(b_eff, 55, 8), 11), is_dual);
+    const auto sum_hi = rtl::prefix_adder(c, ea_hi, eb_hi, c.const0(),
+                                          rtl::PrefixKind::BrentKung);
+    // Subtract the bias: -1023 mod 2048 = 1025; -127 mod 2048 = 1921.
+    // The two constants differ only in bits 7..9.
+    Bus bias(11, c.const0());
+    bias[0] = c.const1();
+    bias[10] = c.const1();
+    for (int i = 7; i <= 9; ++i) bias[static_cast<std::size_t>(i)] = is_dual;
+    ep_hi = rtl::prefix_adder(c, sum_hi.sum, bias, c.const0(),
+                              rtl::PrefixKind::BrentKung)
+                .sum;
+
+    const auto sum_lo = rtl::prefix_adder(
+        c, netlist::slice(a_eff, 23, 8), netlist::slice(b_eff, 23, 8),
+        c.const0(), rtl::PrefixKind::BrentKung);
+    // -127 mod 256 = 129.
+    ep_lo = rtl::add_constant(c, sum_lo.sum, 129, rtl::PrefixKind::BrentKung)
+                .sum;
+
+    sign_hi = c.xor2(a_eff[63], b_eff[63]);
+    sign_lo = c.xor2(a_eff[31], b_eff[31]);
+  }
+
+  // ---------------- stage 1 / stage 2 boundary (Fig. 5 placement) ---------
+  auto reg_bus = [&](Bus& bus) {
+    if (piped) bus = netlist::dff_bus(c, bus);
+  };
+  auto reg_net = [&](NetId& n) {
+    if (piped) n = c.dff(n);
+  };
+
+  if (options.pipeline == MfPipeline::Fig5) {
+    Circuit::Scope scope(c, "pipereg1");
+    // Register the pre-computed multiples (even ones re-derive by wiring)
+    // and the recoded digit controls.
+    reg_bus(multiples[1]);
+    reg_bus(multiples[3]);
+    reg_bus(multiples[5]);
+    reg_bus(multiples[7]);
+    multiples[2] = netlist::shift_left(c, multiples[1], 1, kEncW);
+    multiples[4] = netlist::shift_left(c, multiples[1], 2, kEncW);
+    multiples[8] = netlist::shift_left(c, multiples[1], 3, kEncW);
+    multiples[6] = netlist::shift_left(c, multiples[3], 1, kEncW);
+    for (auto& d : digits) {
+      reg_net(d.sign);
+      for (std::size_t k = 1; k < d.onehot.size(); ++k) reg_net(d.onehot[k]);
+    }
+    reg_bus(ep_hi);
+    reg_bus(ep_lo);
+    reg_net(sign_hi);
+    reg_net(sign_lo);
+    reg_net(is_fp64);
+    reg_net(is_dual);
+    reg_net(do_reduce);
+  }
+  NetId is_int_s3 = is_int;  // int64 select for stage 3 (registered below)
+  if (options.pipeline == MfPipeline::Fig5) {
+    Circuit::Scope scope(c, "pipereg1");
+    reg_net(is_int_s3);
+  }
+
+  // ---------------- stage 2: PPGEN + TREE ---------------------------------
+  rtl::BitMatrix matrix(128);
+  {
+    Circuit::Scope scope(c, "ppgen");
+    for (int i = 0; i < 17; ++i) {
+      const Bus encp = mult::build_pp_row(c, multiples, digits[i]);
+      place_mf_row(c, matrix, i, encp, digits[i].sign, is_dual);
+    }
+    place_mf_constants(c, matrix, is_dual);
+  }
+
+  if (options.pipeline == MfPipeline::AfterPPGen) {
+    Circuit::Scope scope(c, "pipereg1");
+    for (int col = 0; col < 128; ++col)
+      for (auto& dotnet : matrix.column(col)) {
+        const netlist::GateKind k = c.gate(dotnet).kind;
+        if (k != netlist::GateKind::Const0 && k != netlist::GateKind::Const1)
+          dotnet = c.dff(dotnet);
+      }
+    reg_bus(ep_hi);
+    reg_bus(ep_lo);
+    reg_net(sign_hi);
+    reg_net(sign_lo);
+    reg_net(is_fp64);
+    reg_net(is_dual);
+    reg_net(is_int_s3);
+    reg_net(do_reduce);
+  }
+
+  rtl::Redundant red;
+  {
+    Circuit::Scope scope(c, "tree");
+    red = rtl::reduce_to_two(c, matrix, rtl::LaneBarrier{64, is_dual});
+  }
+
+  // ---------------- stage 2 / stage 3 boundary -----------------------------
+  if (piped) {
+    Circuit::Scope scope(c, "pipereg2");
+    reg_bus(red.sum);
+    reg_bus(red.carry);
+    reg_bus(ep_hi);
+    reg_bus(ep_lo);
+    reg_net(sign_hi);
+    reg_net(sign_lo);
+    reg_net(is_fp64);
+    reg_net(is_dual);
+    reg_net(is_int_s3);
+    reg_net(do_reduce);
+  }
+
+  // ---------------- stage 3: round, normalize, S&EH select, format --------
+  Bus p1, p0;
+  {
+    Circuit::Scope scope(c, "round");
+    // Injection vectors (Sec. III-A/B): R1 rounds the leading-1-high case
+    // (inject at the first discarded bit), R0 the leading-1-low case; both
+    // are zero for int64.  binary64 positions follow the paper's own
+    // binary32 formulas (87/86, 23/22), i.e. 52/51 -- Fig. 3's stated
+    // "position 53/52" is internally inconsistent with them.
+    Bus r1(128, c.const0()), r0(128, c.const0());
+    r1[52] = is_fp64;
+    r0[51] = is_fp64;
+    r1[87] = is_dual;
+    r0[86] = is_dual;
+    r1[23] = is_dual;
+    r0[22] = is_dual;
+    const rtl::Redundant in1 = csa_row(c, red, r1, is_dual);
+    const rtl::Redundant in0 = csa_row(c, red, r0, is_dual);
+    p1 = split_cpa(c, in1, is_dual);
+    p0 = split_cpa(c, in0, is_dual);
+  }
+
+  Bus frac64, frac_u, frac_l;
+  NetId n64, nu, nl;
+  {
+    Circuit::Scope scope(c, "norm");
+    // Select on P0's MSB (see mf_model.cpp: Fig. 3's "P1_105" mis-rounds
+    // the near-binade corridor).
+    n64 = p0[105];
+    nu = p0[111];
+    nl = p0[47];
+    frac64 = netlist::mux2_bus(c, netlist::slice(p0, 52, 52),
+                               netlist::slice(p1, 53, 52), n64);
+    frac_u = netlist::mux2_bus(c, netlist::slice(p0, 87, 23),
+                               netlist::slice(p1, 88, 23), nu);
+    frac_l = netlist::mux2_bus(c, netlist::slice(p0, 23, 23),
+                               netlist::slice(p1, 24, 23), nl);
+  }
+
+  if (options.ieee_rounding) {
+    // RNE extension (paper future work): a tie occurred on the selected
+    // path iff the (injection-complemented) guard bit reads 0 and the
+    // sticky OR tree over everything below it is 0; forcing the result
+    // LSB to 0 then lands on the even neighbour.  One guard/sticky pair
+    // per speculative path per lane; the dual-lane trees stop at the lane
+    // boundary (bit 64).
+    Circuit::Scope scope(c, "sticky");
+    auto tie = [&](const Bus& p, int guard, int lane_lsb) {
+      Bus below = netlist::slice(p, lane_lsb, guard - lane_lsb);
+      std::vector<NetId> terms(below.begin(), below.end());
+      const NetId sticky = rtl::or_tree(c, terms);
+      return c.nor2(p[static_cast<std::size_t>(guard)], sticky);
+    };
+    const NetId tie64 =
+        c.mux2(tie(p0, 51, 0), tie(p1, 52, 0), n64);
+    const NetId tie_u =
+        c.mux2(tie(p0, 86, 64), tie(p1, 87, 64), nu);
+    const NetId tie_l =
+        c.mux2(tie(p0, 22, 0), tie(p1, 23, 0), nl);
+    frac64[0] = c.andnot2(frac64[0], tie64);
+    frac_u[0] = c.andnot2(frac_u[0], tie_u);
+    frac_l[0] = c.andnot2(frac_l[0], tie_l);
+  }
+
+  Bus exp_hi_out, exp_lo_out;
+  {
+    Circuit::Scope scope(c, "seh");
+    // Speculative increment, then select on the normalization bit (Fig. 5).
+    const Bus ep_hi1 = rtl::incrementer(c, ep_hi, c.const1()).sum;
+    const Bus ep_lo1 = rtl::incrementer(c, ep_lo, c.const1()).sum;
+    const NetId sel_hi = c.mux2(nu, n64, is_fp64);
+    exp_hi_out = netlist::mux2_bus(c, ep_hi, ep_hi1, sel_hi);
+    exp_lo_out = netlist::mux2_bus(c, ep_lo, ep_lo1, nl);
+  }
+
+  {
+    Circuit::Scope scope(c, "outformat");
+    Bus ph(64), pl(64);
+    for (int j = 0; j < 64; ++j) {
+      // binary64 layout on PH.
+      NetId fp64_bit;
+      if (j <= 51)
+        fp64_bit = frac64[static_cast<std::size_t>(j)];
+      else if (j <= 62)
+        fp64_bit = exp_hi_out[static_cast<std::size_t>(j - 52)];
+      else
+        fp64_bit = sign_hi;
+      // dual binary32 layout on PH: upper product in the 32 MSBs.
+      NetId dual_bit;
+      if (j <= 22)
+        dual_bit = frac_l[static_cast<std::size_t>(j)];
+      else if (j <= 30)
+        dual_bit = exp_lo_out[static_cast<std::size_t>(j - 23)];
+      else if (j == 31)
+        dual_bit = sign_lo;
+      else if (j <= 54)
+        dual_bit = frac_u[static_cast<std::size_t>(j - 32)];
+      else if (j <= 62)
+        dual_bit = exp_hi_out[static_cast<std::size_t>(j - 55)];
+      else
+        dual_bit = sign_hi;
+      const NetId fp_bit = c.mux2(fp64_bit, dual_bit, is_dual);
+      ph[static_cast<std::size_t>(j)] =
+          c.mux2(fp_bit, p0[static_cast<std::size_t>(64 + j)], is_int_s3);
+      pl[static_cast<std::size_t>(j)] =
+          c.and2(p0[static_cast<std::size_t>(j)], is_int_s3);
+    }
+    unit.ph = ph;
+    unit.pl = pl;
+    c.output_bus("ph", ph);
+    c.output_bus("pl", pl);
+    if (options.with_reduction) {
+      unit.reduced = do_reduce;
+      c.output("reduced", do_reduce);
+    }
+  }
+
+  unit.latency_cycles = piped ? 2 : 0;
+  return unit;
+}
+
+}  // namespace mfm::mf

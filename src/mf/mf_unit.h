@@ -1,0 +1,79 @@
+// MfUnit: the multi-format multiplier netlist (paper Sec. III, Fig. 5).
+//
+// One radix-16 64x64 significand datapath shared by three formats:
+//   int64    full 128-bit product on PH:PL;
+//   fp64     one binary64 product on PH;
+//   fp32x2   two binary32 products on PH (upper lane at array bit 64,
+//            lower lane at bit 0 -- Fig. 4).
+// plus normalization with speculative dual rounding (Fig. 3), sign and
+// exponent handling with speculative increment, input/output formatters,
+// and (optionally) the binary64->binary32 reduction of Sec. IV wired into
+// the input formatter so eligible fp64 operations execute on the cheaper
+// binary32 lane (the paper proposes this integration as future work).
+//
+// The pipelined build places registers exactly as Fig. 5: stage 1 = input
+// formatter + pre-computation + recoding + exponent add; stage 2 = PPGEN +
+// TREE; stage 3 = rounding CPAs + normalization + exponent select + output
+// formatter.
+#pragma once
+
+#include <memory>
+
+#include "mf/mf_model.h"
+#include "netlist/bus.h"
+#include "netlist/circuit.h"
+
+namespace mfm::mf {
+
+using netlist::Bus;
+using netlist::Circuit;
+using netlist::NetId;
+
+/// Register placement for the pipelined build (Sec. III-D discusses the
+/// alternatives; Fig. 5's placement needs the fewest registers and is the
+/// default).
+enum class MfPipeline {
+  Combinational,  ///< no registers (for delay/structure studies)
+  Fig5,           ///< 3-stage: regs after stage 1 and after TREE's inputs
+  AfterPPGen,     ///< ablation: stage-1/2 boundary moved after PPGEN
+};
+
+/// Build options.
+struct MfOptions {
+  MfPipeline pipeline = MfPipeline::Fig5;
+  bool with_reduction = false;  ///< integrate Sec. IV reduction (improved unit)
+  /// Add the sticky OR trees + LSB fix that upgrade the injected rounding
+  /// to IEEE roundTiesToEven (the paper's stated future work, Sec. III-A).
+  bool ieee_rounding = false;
+};
+
+/// The built unit and its port handles.
+struct MfUnit {
+  std::unique_ptr<Circuit> circuit;
+  Bus a;      ///< 64-bit operand A (packing depends on frmt)
+  Bus b;      ///< 64-bit operand B
+  Bus frmt;   ///< 2-bit format: 00 int64, 01 fp64, 10 fp32 dual
+  Bus ph;     ///< product high word (see paper Sec. III-D)
+  Bus pl;     ///< product low word (int64 only)
+  NetId reduced = netlist::kNoNet;  ///< with_reduction: op ran as binary32
+  int latency_cycles = 0;
+  MfOptions options;
+};
+
+/// Builds the multi-format multiplier.
+MfUnit build_mf_unit(const MfOptions& options = {});
+
+/// Encodes a Format as the 2-bit frmt port value.
+inline std::uint64_t frmt_bits(Format f) {
+  switch (f) {
+    case Format::Int64:
+      return 0b00;
+    case Format::Fp64:
+      return 0b01;
+    case Format::Fp32Dual:
+      return 0b10;
+  }
+  return 0;
+}
+
+}  // namespace mfm::mf

@@ -1,0 +1,50 @@
+// Umbrella header for the mfm library: a reproduction of A. Nannarelli,
+// "A Multi-Format Floating-Point Multiplier for Power-Efficient
+// Operations", IEEE SOCC 2017.
+//
+// Layers (each usable on its own):
+//   mfm::netlist -- gate-level circuit substrate: builder, technology
+//                   model, zero-delay + event-driven simulators, STA,
+//                   activity-based power model;
+//   mfm::rtl     -- parametric combinational generators (prefix adders,
+//                   carry-save compressors, Dadda trees, muxes);
+//   mfm::arith   -- word-level recoding / partial-product reference models;
+//   mfm::fp      -- IEEE 754-2008 formats and software float arithmetic;
+//   mfm::mult    -- radix-4/8/16 multiplier netlist generators;
+//   mfm::mf      -- the multi-format multiplier: bit-exact MfModel (fast
+//                   functional API), MfUnit (netlist), binary64->binary32
+//                   reduction;
+//   mfm::power   -- Monte-Carlo workloads and power measurement loops.
+#pragma once
+
+#include "arith/pparray.h"
+#include "arith/recode.h"
+#include "common/u128.h"
+#include "fp/format.h"
+#include "fp/softfloat.h"
+#include "mf/fp_reduce.h"
+#include "mf/mf_model.h"
+#include "mf/mf_unit.h"
+#include "mult/fp_adder.h"
+#include "mult/fp_multiplier.h"
+#include "mult/multiplier.h"
+#include "mult/ppgen.h"
+#include "netlist/bus.h"
+#include "netlist/circuit.h"
+#include "netlist/equiv.h"
+#include "netlist/power.h"
+#include "netlist/report.h"
+#include "netlist/sim_event.h"
+#include "netlist/sim_level.h"
+#include "netlist/techlib.h"
+#include "netlist/timing.h"
+#include "netlist/vcd.h"
+#include "netlist/verify.h"
+#include "netlist/verilog.h"
+#include "power/measure.h"
+#include "power/workloads.h"
+#include "rtl/adders.h"
+#include "rtl/csa.h"
+#include "rtl/mux.h"
+#include "rtl/pptree.h"
+#include "rtl/shifter.h"

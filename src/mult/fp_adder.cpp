@@ -1,0 +1,259 @@
+#include "mult/fp_adder.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "arith/pparray.h"
+#include "rtl/adders.h"
+#include "rtl/mux.h"
+#include "rtl/shifter.h"
+
+namespace mfm::mult {
+
+namespace {
+
+using netlist::Bus;
+using netlist::Circuit;
+using netlist::NetId;
+
+int bits_for(int value) {
+  int b = 1;
+  while ((1 << b) <= value) ++b;
+  return b;
+}
+
+int top_bit_u128(u128 v) {
+  int b = -1;
+  while (v != 0) {
+    ++b;
+    v >>= 1;
+  }
+  return b;
+}
+
+}  // namespace
+
+FpAdderUnit build_fp_adder(const FpAdderOptions& options) {
+  const fp::FormatSpec& f = options.format;
+  const int p = f.precision;
+  const int eb = f.exp_bits;
+  assert(p <= 60);
+  const int w = 2 * p + 4;        // fixed-point working width
+  const int clamp = p + 2;        // maximum useful alignment shift
+  const int amt_bits = bits_for(clamp);
+
+  FpAdderUnit unit;
+  unit.options = options;
+  unit.circuit = std::make_unique<Circuit>();
+  Circuit& c = *unit.circuit;
+
+  unit.a = c.input_bus("a", f.storage_bits);
+  unit.b = c.input_bus("b", f.storage_bits);
+
+  // ---- unpack + magnitude compare/swap ------------------------------------
+  Bus sig_big, sig_small, exp_big, exp_small;
+  NetId sign_big, eff_sub;
+  {
+    Circuit::Scope scope(c, "swap");
+    auto unpack_sig = [&](const Bus& word) {
+      Bus sig = netlist::slice(word, 0, f.trailing_bits);
+      std::vector<NetId> et;
+      for (int i = 0; i < eb; ++i)
+        et.push_back(word[static_cast<std::size_t>(f.trailing_bits + i)]);
+      sig.push_back(rtl::or_tree(c, et));  // implicit bit
+      return sig;
+    };
+    const Bus mag_a = netlist::slice(unit.a, 0, f.storage_bits - 1);
+    const Bus mag_b = netlist::slice(unit.b, 0, f.storage_bits - 1);
+    // For our operand domain, |a| >= |b| iff the (exp,frac) encoding of a
+    // is >= that of b.
+    const auto cmp = rtl::compare_unsigned(c, mag_a, mag_b);
+    const NetId a_is_small = cmp.lt;
+    const Bus sa = unpack_sig(unit.a);
+    const Bus sb = unpack_sig(unit.b);
+    sig_big = netlist::mux2_bus(c, sa, sb, a_is_small);
+    sig_small = netlist::mux2_bus(c, sb, sa, a_is_small);
+    exp_big = netlist::mux2_bus(
+        c, netlist::slice(unit.a, f.trailing_bits, eb),
+        netlist::slice(unit.b, f.trailing_bits, eb), a_is_small);
+    exp_small = netlist::mux2_bus(
+        c, netlist::slice(unit.b, f.trailing_bits, eb),
+        netlist::slice(unit.a, f.trailing_bits, eb), a_is_small);
+    const NetId sa_sign = unit.a[static_cast<std::size_t>(f.storage_bits - 1)];
+    const NetId sb_sign = unit.b[static_cast<std::size_t>(f.storage_bits - 1)];
+    sign_big = c.mux2(sa_sign, sb_sign, a_is_small);
+    eff_sub = c.xor2(sa_sign, sb_sign);
+  }
+
+  // ---- alignment -----------------------------------------------------------
+  Bus small_fx;
+  {
+    Circuit::Scope scope(c, "align");
+    // diff = exp_big - exp_small (never negative after the swap).
+    Bus not_small(exp_small.size());
+    for (std::size_t i = 0; i < exp_small.size(); ++i)
+      not_small[i] = c.not_(exp_small[i]);
+    const Bus diff =
+        rtl::kogge_stone_adder(c, exp_big, not_small, c.const1()).sum;
+    // amt = min(diff, p+2): clamped shifts keep every bit that can still
+    // influence rounding on the bus (sticky exactness, see header).
+    const auto over =
+        rtl::compare_unsigned(c, diff, netlist::constant_bus(
+                                           c, static_cast<u128>(clamp),
+                                           static_cast<int>(diff.size())));
+    // over.lt: diff < clamp -> use diff; else use the clamp constant.
+    Bus amt(static_cast<std::size_t>(amt_bits));
+    for (int i = 0; i < amt_bits; ++i) {
+      const NetId d = i < static_cast<int>(diff.size())
+                          ? diff[static_cast<std::size_t>(i)]
+                          : c.const0();
+      amt[static_cast<std::size_t>(i)] =
+          c.mux2(c.constant((clamp >> i) & 1), d, over.lt);
+    }
+    Bus small_hi(static_cast<std::size_t>(w), c.const0());
+    for (int i = 0; i < p; ++i)
+      small_hi[static_cast<std::size_t>(p + 3 + i)] =
+          sig_small[static_cast<std::size_t>(i)];
+    small_fx = rtl::barrel_shift_right(c, small_hi, amt, c.const0());
+  }
+
+  if (options.pipelined) {
+    Circuit::Scope scope(c, "pipereg");
+    small_fx = netlist::dff_bus(c, small_fx);
+    sig_big = netlist::dff_bus(c, sig_big);
+    exp_big = netlist::dff_bus(c, exp_big);
+    sign_big = c.dff(sign_big);
+    eff_sub = c.dff(eff_sub);
+  }
+
+  // ---- effective add / subtract -------------------------------------------
+  Bus mag;
+  {
+    Circuit::Scope scope(c, "addsub");
+    Bus big_fx(static_cast<std::size_t>(w), c.const0());
+    for (int i = 0; i < p; ++i)
+      big_fx[static_cast<std::size_t>(p + 3 + i)] =
+          sig_big[static_cast<std::size_t>(i)];
+    const Bus addend = netlist::xor_bus(c, small_fx, eff_sub);
+    mag = rtl::kogge_stone_adder(c, big_fx, addend, eff_sub).sum;
+  }
+
+  // ---- normalize ------------------------------------------------------------
+  Bus norm, lzc;
+  NetId is_zero;
+  {
+    Circuit::Scope scope(c, "norm");
+    const auto lzd = rtl::leading_zero_detect(c, mag);
+    is_zero = lzd.all_zero;
+    lzc = lzd.count;
+    norm = rtl::barrel_shift_left(c, mag, lzc);
+  }
+
+  // ---- round to nearest even -------------------------------------------------
+  Bus kept_rounded;
+  NetId round_carry;
+  {
+    Circuit::Scope scope(c, "round");
+    const Bus kept = netlist::slice(norm, w - p, p);
+    const NetId guard = norm[static_cast<std::size_t>(w - p - 1)];
+    Bus below = netlist::slice(norm, 0, w - p - 1);
+    std::vector<NetId> bt(below.begin(), below.end());
+    const NetId sticky = rtl::or_tree(c, bt);
+    const NetId round = c.and2(guard, c.or2(sticky, kept[0]));
+    const auto inc = rtl::incrementer(c, kept, round);
+    kept_rounded = inc.sum;
+    round_carry = inc.carry_out;  // all-ones rounded up: significand = 1.0
+  }
+
+  // ---- exponent -----------------------------------------------------------
+  Bus exp_out;
+  {
+    Circuit::Scope scope(c, "seh");
+    // e_lead = exp_big + 1 - lzc  (mod 2^eb), +1 again on rounding carry.
+    const Bus e1 = rtl::incrementer(c, exp_big, c.const1()).sum;
+    Bus lzc_e(static_cast<std::size_t>(eb), c.const0());
+    for (int i = 0; i < eb && i < static_cast<int>(lzc.size()); ++i)
+      lzc_e[static_cast<std::size_t>(i)] = lzc[static_cast<std::size_t>(i)];
+    Bus not_lzc(lzc_e.size());
+    for (std::size_t i = 0; i < lzc_e.size(); ++i)
+      not_lzc[i] = c.not_(lzc_e[i]);
+    const Bus e2 = rtl::kogge_stone_adder(c, e1, not_lzc, c.const1()).sum;
+    const Bus e3 = rtl::incrementer(c, e2, c.const1()).sum;
+    exp_out = netlist::mux2_bus(c, e2, e3, round_carry);
+  }
+
+  // ---- pack (exact cancellation forces +0) -----------------------------------
+  {
+    Circuit::Scope scope(c, "pack");
+    Bus out;
+    for (int i = 0; i < f.trailing_bits; ++i)
+      out.push_back(kept_rounded[static_cast<std::size_t>(i)]);
+    out.insert(out.end(), exp_out.begin(), exp_out.end());
+    out.push_back(sign_big);
+    const NetId nonzero = c.not_(is_zero);
+    out = netlist::and_bus(c, out, nonzero);
+    unit.s = out;
+    c.output_bus("s", out);
+  }
+
+  unit.latency_cycles = options.pipelined ? 1 : 0;
+  return unit;
+}
+
+u128 fp_adder_model(u128 a_bits, u128 b_bits, const fp::FormatSpec& f) {
+  const int p = f.precision;
+  const int w = 2 * p + 4;
+  const int clamp = p + 2;
+  const u128 magmask = f.storage_mask() >> 1;
+
+  const u128 mag_a = a_bits & magmask;
+  const u128 mag_b = b_bits & magmask;
+  const bool a_is_small = mag_a < mag_b;
+  const u128 big = a_is_small ? b_bits : a_bits;
+  const u128 small = a_is_small ? a_bits : b_bits;
+
+  auto sig = [&](u128 v) {
+    const u128 frac = v & f.frac_mask();
+    const bool hidden = ((v >> f.trailing_bits) & f.exp_mask()) != 0;
+    return frac | (hidden ? f.hidden_bit() : 0);
+  };
+  const std::uint32_t e_big = static_cast<std::uint32_t>(
+      (big >> f.trailing_bits) & f.exp_mask());
+  const std::uint32_t e_small = static_cast<std::uint32_t>(
+      (small >> f.trailing_bits) & f.exp_mask());
+  const bool sign_big = (big >> (f.storage_bits - 1)) & 1;
+  const bool eff_sub =
+      (((a_bits ^ b_bits) >> (f.storage_bits - 1)) & 1) != 0;
+
+  const int amt =
+      std::min(static_cast<int>(e_big - e_small), clamp);
+  const u128 big_fx = sig(big) << (p + 3);
+  const u128 small_fx = (sig(small) << (p + 3)) >> amt;
+  const u128 mag = eff_sub ? big_fx - small_fx : big_fx + small_fx;
+  if (mag == 0) return 0;
+
+  const int msb = top_bit_u128(mag);
+  const int lzc = (w - 1) - msb;
+  const u128 norm = mag << lzc;
+  u128 kept = norm >> (w - p);
+  const bool guard = bit_of(norm, w - p - 1);
+  const bool sticky =
+      (norm & ((static_cast<u128>(1) << (w - p - 1)) - 1)) != 0;
+  bool carry = false;
+  if (guard && (sticky || (kept & 1))) {
+    ++kept;
+    if (kept == (static_cast<u128>(1) << p)) {
+      kept >>= 1;
+      carry = true;
+    }
+  }
+  const std::uint32_t emask = static_cast<std::uint32_t>(f.exp_mask());
+  const std::uint32_t e_out =
+      (e_big + 1u - static_cast<std::uint32_t>(lzc) + (carry ? 1u : 0u)) &
+      emask;
+  return (static_cast<u128>(sign_big ? 1 : 0) << (f.storage_bits - 1)) |
+         (static_cast<u128>(e_out) << f.trailing_bits) |
+         (kept & f.frac_mask());
+}
+
+}  // namespace mfm::mult

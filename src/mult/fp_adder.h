@@ -1,0 +1,49 @@
+// Structural floating-point adder generator.
+//
+// The paper's unit multiplies; any FPU deploying it also needs an adder
+// (our dot-product example accumulates in software for exactly that
+// reason).  This generator builds a classic single-path FP adder for any
+// IEEE binary format with precision <= 60, from the same RTL library:
+// magnitude compare/swap -> clamped alignment barrel shifter (shift
+// amounts cap at p+2; the retained low bits then carry the exact sticky
+// information) -> effective add/subtract -> leading-zero detection ->
+// normalization shifter -> round-to-nearest-even -> sign/exponent/pack.
+//
+// Faithful to the house style of the paper's units: normal operands
+// (implicit bit = 1 iff the exponent field is nonzero), exponents wrap
+// modulo 2^e with no overflow/special handling, results that would be
+// subnormal are flushed through the wrap (use fp::add for the IEEE
+// reference); exact cancellation produces +0.
+#pragma once
+
+#include <memory>
+
+#include "fp/format.h"
+#include "netlist/bus.h"
+#include "netlist/circuit.h"
+
+namespace mfm::mult {
+
+/// Generator parameters.
+struct FpAdderOptions {
+  fp::FormatSpec format = fp::kBinary32;
+  bool pipelined = false;  ///< 2-stage: align | add+normalize+round
+};
+
+/// A built FP adder.
+struct FpAdderUnit {
+  std::unique_ptr<netlist::Circuit> circuit;
+  netlist::Bus a;  ///< operand A encoding
+  netlist::Bus b;  ///< operand B encoding
+  netlist::Bus s;  ///< sum encoding
+  FpAdderOptions options;
+  int latency_cycles = 0;
+};
+
+/// Builds the adder; requires format.precision <= 60.
+FpAdderUnit build_fp_adder(const FpAdderOptions& options);
+
+/// Word-level mirror of the unit (same normal-range semantics).
+u128 fp_adder_model(u128 a_bits, u128 b_bits, const fp::FormatSpec& f);
+
+}  // namespace mfm::mult

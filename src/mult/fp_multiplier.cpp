@@ -1,0 +1,226 @@
+#include "mult/fp_multiplier.h"
+
+#include <cassert>
+
+#include "arith/pparray.h"
+#include "mult/ppgen.h"
+#include "rtl/adders.h"
+#include "rtl/csa.h"
+#include "rtl/mux.h"
+#include "rtl/pptree.h"
+
+namespace mfm::mult {
+
+namespace {
+
+using netlist::Bus;
+using netlist::Circuit;
+using netlist::NetId;
+
+// Folds a single constant-position round bit into the redundant pair
+// (the Fig. 3 injection row; everything except the injected column folds
+// to half adders).
+rtl::Redundant inject_round_bit(Circuit& c, const rtl::Redundant& in,
+                                int position) {
+  rtl::Redundant out;
+  const std::size_t w = in.sum.size();
+  out.sum.resize(w);
+  out.carry.assign(w, c.const0());
+  for (std::size_t i = 0; i < w; ++i) {
+    const NetId r = static_cast<int>(i) == position ? c.const1() : c.const0();
+    const rtl::SumCarry sc = rtl::full_adder(c, in.sum[i], in.carry[i], r);
+    out.sum[i] = sc.sum;
+    if (i + 1 < w) out.carry[i + 1] = sc.carry;
+  }
+  return out;
+}
+
+NetId hidden_bit(Circuit& c, const Bus& exp_field) {
+  std::vector<NetId> t(exp_field.begin(), exp_field.end());
+  return rtl::or_tree(c, t);
+}
+
+}  // namespace
+
+FpMultiplierUnit build_fp_multiplier(const FpMultiplierOptions& options) {
+  const fp::FormatSpec& f = options.format;
+  const int p = f.precision;
+  const int g = options.radix_g;
+  assert(p <= 57 && g >= 1 && g <= 4);
+  const int n = (p + g - 1) / g * g;  // significand array width
+  const int cols = 2 * n;
+  assert(cols <= 128);
+
+  FpMultiplierUnit unit;
+  unit.options = options;
+  unit.circuit = std::make_unique<Circuit>();
+  Circuit& c = *unit.circuit;
+
+  unit.a = c.input_bus("a", f.storage_bits);
+  unit.b = c.input_bus("b", f.storage_bits);
+
+  // Input formatting: significand = {implicit bit, fraction}, zero-padded
+  // to the array width; implicit bit = (exponent field != 0).
+  Bus x, y;
+  Bus ea, eb2;
+  NetId sign;
+  {
+    Circuit::Scope scope(c, "informat");
+    auto unpack = [&](const Bus& w) {
+      Bus sig = netlist::slice(w, 0, f.trailing_bits);
+      sig.push_back(hidden_bit(c, netlist::slice(w, f.trailing_bits,
+                                                 f.exp_bits)));
+      return netlist::zext(c, sig, n);
+    };
+    x = unpack(unit.a);
+    y = unpack(unit.b);
+    ea = netlist::slice(unit.a, f.trailing_bits, f.exp_bits);
+    eb2 = netlist::slice(unit.b, f.trailing_bits, f.exp_bits);
+    sign = c.xor2(unit.a[static_cast<std::size_t>(f.storage_bits - 1)],
+                  unit.b[static_cast<std::size_t>(f.storage_bits - 1)]);
+  }
+
+  // Stage 1: recode + odd-multiple pre-computation + exponent add.
+  auto digits = build_recoder(c, y, g);
+  auto multiples = build_multiples(c, x, g, rtl::PrefixKind::BrentKung);
+  Bus ep;
+  {
+    Circuit::Scope scope(c, "seh");
+    const auto s = rtl::prefix_adder(c, ea, eb2, c.const0(),
+                                     rtl::PrefixKind::BrentKung);
+    const u128 neg_bias =
+        (~static_cast<u128>(f.bias) + 1) & arith::mask_bits(f.exp_bits);
+    ep = rtl::add_constant(c, s.sum, neg_bias).sum;
+  }
+
+  if (options.pipelined) {
+    Circuit::Scope scope(c, "pipereg");
+    const int width = n + g - 1;
+    auto reg = [&](Bus& bus) { bus = netlist::dff_bus(c, bus); };
+    reg(multiples[1]);
+    if (g >= 2) multiples[2] = netlist::shift_left(c, multiples[1], 1, width);
+    if (g >= 3) {
+      reg(multiples[3]);
+      multiples[4] = netlist::shift_left(c, multiples[1], 2, width);
+    }
+    if (g >= 4) {
+      reg(multiples[5]);
+      reg(multiples[7]);
+      multiples[6] = netlist::shift_left(c, multiples[3], 1, width);
+      multiples[8] = netlist::shift_left(c, multiples[1], 3, width);
+    }
+    for (auto& d : digits) {
+      d.sign = c.dff(d.sign);
+      for (std::size_t k = 1; k < d.onehot.size(); ++k)
+        d.onehot[k] = c.dff(d.onehot[k]);
+    }
+    reg(ep);
+    sign = c.dff(sign);
+  }
+
+  // Stage 2: PPGEN + TREE + speculative round + normalize + format.
+  rtl::BitMatrix matrix(cols);
+  {
+    Circuit::Scope scope(c, "ppgen");
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+      const Bus encp = build_pp_row(c, multiples, digits[i]);
+      place_row(c, matrix, encp, digits[i].sign, g * static_cast<int>(i));
+    }
+    matrix.add_constant(c, arith::comp_constant(n, g, cols));
+  }
+  rtl::Redundant red;
+  {
+    Circuit::Scope scope(c, "tree");
+    red = rtl::reduce_to_two(c, matrix);
+  }
+
+  const int p_hi = 2 * p - 1;       // product MSB when significand >= 2
+  const int r1_pos = p_hi - p;      // first discarded bit, high case
+  Bus p1, p0;
+  {
+    Circuit::Scope scope(c, "round");
+    const rtl::Redundant in1 = inject_round_bit(c, red, r1_pos);
+    const rtl::Redundant in0 = inject_round_bit(c, red, r1_pos - 1);
+    p1 = rtl::prefix_adder(c, in1.sum, in1.carry, c.const0(),
+                           rtl::PrefixKind::KoggeStone)
+             .sum;
+    p0 = rtl::prefix_adder(c, in0.sum, in0.carry, c.const0(),
+                           rtl::PrefixKind::KoggeStone)
+             .sum;
+  }
+
+  Bus frac;
+  NetId norm;
+  {
+    Circuit::Scope scope(c, "norm");
+    norm = p0[static_cast<std::size_t>(p_hi)];  // see mf_model.cpp note
+    frac = netlist::mux2_bus(c,
+                             netlist::slice(p0, r1_pos, f.trailing_bits),
+                             netlist::slice(p1, r1_pos + 1, f.trailing_bits),
+                             norm);
+    if (options.rounding == mf::MfRounding::NearestEven) {
+      auto tie = [&](const Bus& pr, int guard) {
+        Bus below = netlist::slice(pr, 0, guard);
+        std::vector<NetId> terms(below.begin(), below.end());
+        return c.nor2(pr[static_cast<std::size_t>(guard)],
+                      rtl::or_tree(c, terms));
+      };
+      const NetId t = c.mux2(tie(p0, r1_pos - 1), tie(p1, r1_pos), norm);
+      frac[0] = c.andnot2(frac[0], t);
+    }
+  }
+
+  Bus exp_out;
+  {
+    Circuit::Scope scope(c, "seh");
+    const Bus ep1 = rtl::incrementer(c, ep, c.const1()).sum;
+    exp_out = netlist::mux2_bus(c, ep, ep1, norm);
+  }
+
+  Bus out = frac;
+  out.insert(out.end(), exp_out.begin(), exp_out.end());
+  out.push_back(sign);
+  unit.p = out;
+  c.output_bus("p", out);
+  unit.latency_cycles = options.pipelined ? 1 : 0;
+  return unit;
+}
+
+u128 fp_multiplier_model(u128 a_bits, u128 b_bits, const fp::FormatSpec& f,
+                         mf::MfRounding rounding) {
+  const int p = f.precision;
+  auto sig = [&](u128 w) {
+    const u128 frac = w & f.frac_mask();
+    const bool has_hidden =
+        ((w >> f.trailing_bits) & f.exp_mask()) != 0;
+    return frac | (has_hidden ? f.hidden_bit() : 0);
+  };
+  const u128 prod = sig(a_bits) * sig(b_bits);
+  const int p_hi = 2 * p - 1;
+  const int r1_pos = p_hi - p;
+  const u128 p1 = prod + (static_cast<u128>(1) << r1_pos);
+  const u128 p0 = prod + (static_cast<u128>(1) << (r1_pos - 1));
+  const bool hi = bit_of(p0, p_hi);  // see mf_model.cpp note
+  u128 frac = (hi ? (p1 >> (r1_pos + 1)) : (p0 >> r1_pos)) & f.frac_mask();
+  if (rounding == mf::MfRounding::NearestEven) {
+    const int guard = hi ? r1_pos : r1_pos - 1;
+    const u128 selected = hi ? p1 : p0;
+    const bool guard_inv = !bit_of(selected, guard);
+    const bool sticky =
+        (selected & ((static_cast<u128>(1) << guard) - 1)) != 0;
+    if (guard_inv && !sticky) frac &= ~static_cast<u128>(1);
+  }
+  const std::uint32_t emask = static_cast<std::uint32_t>(f.exp_mask());
+  const std::uint32_t ea = static_cast<std::uint32_t>(
+      (a_bits >> f.trailing_bits) & emask);
+  const std::uint32_t eb2 = static_cast<std::uint32_t>(
+      (b_bits >> f.trailing_bits) & emask);
+  const std::uint32_t ep =
+      (ea + eb2 - static_cast<std::uint32_t>(f.bias) + (hi ? 1u : 0u)) &
+      emask;
+  const bool sign = ((a_bits ^ b_bits) >> (f.storage_bits - 1)) & 1;
+  return (static_cast<u128>(sign) << (f.storage_bits - 1)) |
+         (static_cast<u128>(ep) << f.trailing_bits) | frac;
+}
+
+}  // namespace mfm::mult

@@ -1,0 +1,53 @@
+// Parametric single-format floating-point multiplier generator.
+//
+// Generalizes the paper's binary64 datapath (significand multiplier +
+// speculative dual rounding + S&EH, Sec. III-A) to any IEEE binary format
+// with precision <= 57: build_fp_multiplier(kBinary16/32/64) emits a
+// complete unit for that one format.  Useful on its own (e.g. a binary16
+// multiplier for ML-flavoured accelerators) and as the baseline the
+// multi-format unit is compared against in the format-sweep ablation:
+// what does one fixed-format unit cost versus the shared MFmult?
+//
+// Like the paper's unit it handles normal operands (implicit bit = 1 iff
+// the biased exponent is nonzero), has no NaN/Inf/subnormal datapath, and
+// rounds to nearest with the selected tie rule.
+#pragma once
+
+#include <memory>
+
+#include "fp/format.h"
+#include "mf/mf_model.h"
+#include "mult/multiplier.h"
+#include "netlist/bus.h"
+#include "netlist/circuit.h"
+
+namespace mfm::mult {
+
+/// Generator parameters.
+struct FpMultiplierOptions {
+  fp::FormatSpec format = fp::kBinary32;
+  int radix_g = 4;  ///< significand multiplier radix = 2^g
+  mf::MfRounding rounding = mf::MfRounding::PaperTiesUp;
+  bool pipelined = false;  ///< 2-stage (recode/precompute | rest)
+};
+
+/// A built single-format FP multiplier.
+struct FpMultiplierUnit {
+  std::unique_ptr<netlist::Circuit> circuit;
+  netlist::Bus a;  ///< operand A encoding (storage_bits wide)
+  netlist::Bus b;  ///< operand B encoding
+  netlist::Bus p;  ///< product encoding
+  FpMultiplierOptions options;
+  int latency_cycles = 0;
+};
+
+/// Builds the unit; requires format.precision <= 57 (the significand
+/// product must fit the 128-column array with its sign-handling columns).
+FpMultiplierUnit build_fp_multiplier(const FpMultiplierOptions& options);
+
+/// Word-level mirror of the unit (same semantics as mf::fp64_mul but for
+/// any format): used by tests and as a fast model.
+u128 fp_multiplier_model(u128 a_bits, u128 b_bits, const fp::FormatSpec& f,
+                         mf::MfRounding rounding);
+
+}  // namespace mfm::mult

@@ -1,0 +1,136 @@
+#include "mult/multiplier.h"
+
+#include <cassert>
+
+#include "arith/pparray.h"
+#include "mult/ppgen.h"
+#include "rtl/pptree.h"
+
+namespace mfm::mult {
+
+MultiplierUnit build_multiplier(const MultiplierOptions& options) {
+  const int n = options.n;
+  const int g = options.g;
+  assert(n >= g && n <= 64);
+  // Internal width rounded up to a whole number of digit groups (radix-8
+  // zero-extends 64-bit operands to 66 bits).
+  const int n_int = (n + g - 1) / g * g;
+  const int columns = 2 * n_int;
+  const int rows = n_int / g + 1;
+
+  MultiplierUnit unit;
+  unit.options = options;
+  unit.pp_rows = rows;
+  unit.circuit = std::make_unique<Circuit>();
+  Circuit& c = *unit.circuit;
+
+  unit.x = c.input_bus("x", n);
+  unit.y = c.input_bus("y", n);
+  Bus xi = netlist::zext(c, unit.x, n_int);
+  Bus yi = netlist::zext(c, unit.y, n_int);
+  if (options.register_inputs) {
+    Circuit::Scope scope(c, "inreg");
+    xi = netlist::dff_bus(c, xi);
+    yi = netlist::dff_bus(c, yi);
+  }
+
+  // Stage 1: recoding runs in parallel with the odd-multiple adders
+  // (paper Sec. II).
+  auto digits = build_recoder(c, yi, g);
+  auto multiples =
+      build_multiples(c, xi, g, options.precompute_adder);
+
+  if (options.cut == PipelineCut::AfterRecode) {
+    Circuit::Scope scope(c, "pipereg");
+    const int width = n_int + g - 1;
+    auto reg_bus = [&](Bus& bus) { bus = netlist::dff_bus(c, bus); };
+    reg_bus(multiples[1]);
+    if (g >= 2) multiples[2] = netlist::shift_left(c, multiples[1], 1, width);
+    if (g >= 3) {
+      reg_bus(multiples[3]);
+      multiples[4] = netlist::shift_left(c, multiples[1], 2, width);
+    }
+    if (g >= 4) {
+      reg_bus(multiples[5]);
+      reg_bus(multiples[7]);
+      multiples[6] = netlist::shift_left(c, multiples[3], 1, width);
+      multiples[8] = netlist::shift_left(c, multiples[1], 3, width);
+    }
+    for (auto& d : digits) {
+      d.sign = c.dff(d.sign);
+      for (std::size_t k = 1; k < d.onehot.size(); ++k)
+        d.onehot[k] = c.dff(d.onehot[k]);
+    }
+  }
+
+  // PPGEN: one row per digit, placed at column g*i with the
+  // sign-extension-reduction dots (Fig. 1 / arith/pparray.h).
+  rtl::BitMatrix matrix(columns);
+  {
+    Circuit::Scope scope(c, "ppgen");
+    for (int i = 0; i < rows; ++i) {
+      const Bus encp = build_pp_row(c, multiples, digits[i]);
+      place_row(c, matrix, encp, digits[i].sign, g * i);
+    }
+    matrix.add_constant(c, arith::comp_constant(n_int, g, columns));
+  }
+
+  if (options.cut == PipelineCut::AfterPPGen) {
+    Circuit::Scope scope(c, "pipereg");
+    for (int col = 0; col < columns; ++col) {
+      for (auto& dot : matrix.column(col)) {
+        const netlist::GateKind k = c.gate(dot).kind;
+        if (k != netlist::GateKind::Const0 && k != netlist::GateKind::Const1)
+          dot = c.dff(dot);
+      }
+    }
+  }
+
+  rtl::Redundant red;
+  {
+    Circuit::Scope scope(c, "tree");
+    red = rtl::reduce_to_two(c, matrix, std::nullopt, options.tree_style);
+  }
+  unit.tree_stages = red.stages;
+
+  if (options.cut == PipelineCut::AfterTree) {
+    Circuit::Scope scope(c, "pipereg");
+    red.sum = netlist::dff_bus(c, red.sum);
+    red.carry = netlist::dff_bus(c, red.carry);
+  }
+
+  Bus product;
+  {
+    Circuit::Scope scope(c, "cpa");
+    product =
+        rtl::prefix_adder(c, red.sum, red.carry, c.const0(),
+                          options.final_adder)
+            .sum;
+  }
+
+  unit.p = netlist::slice(product, 0, 2 * n);
+  c.output_bus("p", unit.p);
+  unit.latency_cycles = options.cut == PipelineCut::None
+                            ? 0
+                            : (options.register_inputs ? 2 : 1);
+  return unit;
+}
+
+namespace {
+
+MultiplierUnit build64(int g, PipelineCut cut) {
+  MultiplierOptions o;
+  o.n = 64;
+  o.g = g;
+  o.cut = cut;
+  o.register_inputs = cut != PipelineCut::None;
+  return build_multiplier(o);
+}
+
+}  // namespace
+
+MultiplierUnit build_radix4_64(PipelineCut cut) { return build64(2, cut); }
+MultiplierUnit build_radix8_64(PipelineCut cut) { return build64(3, cut); }
+MultiplierUnit build_radix16_64(PipelineCut cut) { return build64(4, cut); }
+
+}  // namespace mfm::mult

@@ -1,0 +1,66 @@
+// Complete n x n unsigned multiplier netlists (paper Fig. 2).
+//
+// build_multiplier() generates the paper's baseline radix-16 unit (Sec. II)
+// and the radix-4 / radix-8 comparison units (Sec. II-A) from one
+// parametric description: recoder -> odd-multiple pre-computation -> PPGEN
+// -> reduction TREE -> final CPA.  An optional pipeline cut turns the
+// combinational unit into the 2-stage pipelined version measured in
+// Table III.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "netlist/bus.h"
+#include "netlist/circuit.h"
+#include "rtl/adders.h"
+#include "rtl/pptree.h"
+
+namespace mfm::mult {
+
+using netlist::Bus;
+using netlist::Circuit;
+
+/// Where to place the pipeline registers of a 2-stage implementation.
+enum class PipelineCut {
+  None,        ///< purely combinational
+  AfterRecode, ///< stage 1 = recode + odd-multiple precompute (Fig. 5 style);
+               ///< stage 2 = PPGEN + TREE + CPA.  Aligns the staggered
+               ///< precompute arrivals, so it also suppresses the glitch
+               ///< source of the high-radix PPGEN.
+  AfterPPGen,  ///< stage 1 = recode + precompute + PPGEN; stage 2 = TREE+CPA
+  AfterTree,   ///< stage 1 = recode + precompute + PPGEN + TREE; stage 2 = CPA
+};
+
+/// Multiplier generator parameters.
+struct MultiplierOptions {
+  int n = 64;          ///< operand width (multiple of g)
+  int g = 4;           ///< radix = 2^g: 2 -> radix-4, 3 -> radix-8, 4 -> radix-16
+  rtl::PrefixKind precompute_adder = rtl::PrefixKind::BrentKung;
+  rtl::PrefixKind final_adder = rtl::PrefixKind::KoggeStone;
+  rtl::TreeStyle tree_style = rtl::TreeStyle::Dadda;  ///< "3:2 or 4:2 CSAs"
+  PipelineCut cut = PipelineCut::None;
+  bool register_inputs = false;  ///< add input registers (pipelined builds)
+};
+
+/// A built multiplier: the circuit plus its port handles.
+struct MultiplierUnit {
+  std::unique_ptr<Circuit> circuit;
+  Bus x;  ///< n-bit multiplicand input
+  Bus y;  ///< n-bit multiplier input
+  Bus p;  ///< 2n-bit product output
+  MultiplierOptions options;
+  int latency_cycles = 0;  ///< cycles from input to output (0 = comb.)
+  int pp_rows = 0;         ///< number of partial products (n/g + 1)
+  int tree_stages = 0;     ///< 3:2 reduction stages used by the TREE
+};
+
+/// Builds an n x n -> 2n unsigned multiplier.
+MultiplierUnit build_multiplier(const MultiplierOptions& options);
+
+/// Shorthands for the paper's three design points at n = 64.
+MultiplierUnit build_radix4_64(PipelineCut cut = PipelineCut::None);
+MultiplierUnit build_radix8_64(PipelineCut cut = PipelineCut::None);
+MultiplierUnit build_radix16_64(PipelineCut cut = PipelineCut::None);
+
+}  // namespace mfm::mult

@@ -1,0 +1,114 @@
+#include "mult/ppgen.h"
+
+#include <cassert>
+
+#include "rtl/csa.h"
+#include "rtl/mux.h"
+
+namespace mfm::mult {
+
+std::vector<DigitNets> build_recoder(Circuit& c, const Bus& y, int g) {
+  const int n = static_cast<int>(y.size());
+  assert(g >= 1 && g <= 4 && n % g == 0);
+  const int groups = n / g;
+  const int half = 1 << (g - 1);
+
+  Circuit::Scope scope(c, "recoder");
+  std::vector<DigitNets> out(static_cast<std::size_t>(groups) + 1);
+
+  NetId transfer = c.const0();
+  for (int i = 0; i < groups; ++i) {
+    // u = group + t_in, a (g+1)-bit value in [0, 2^g].
+    Bus u(static_cast<std::size_t>(g) + 1);
+    NetId carry = transfer;
+    for (int j = 0; j < g; ++j) {
+      const NetId bit = y[static_cast<std::size_t>(i * g + j)];
+      u[static_cast<std::size_t>(j)] = c.xor2(bit, carry);
+      carry = c.and2(bit, carry);
+    }
+    u[static_cast<std::size_t>(g)] = carry;  // set only when u == 2^g
+    const NetId t_out = y[static_cast<std::size_t>(i * g + g - 1)];
+
+    DigitNets& d = out[static_cast<std::size_t>(i)];
+    // d < 0  <=>  t_out && u != 2^g  (u >= 2^(g-1) whenever t_out is set).
+    d.sign = c.andnot2(t_out, u[static_cast<std::size_t>(g)]);
+    d.onehot.assign(static_cast<std::size_t>(half) + 1, c.const0());
+    for (int k = 1; k < half; ++k) {
+      // |d| == k  <=>  u == k (positive) or u == 2^g - k (negative).
+      const NetId pos = rtl::equals_constant(c, u, static_cast<u128>(k));
+      const NetId neg =
+          rtl::equals_constant(c, u, static_cast<u128>((1 << g) - k));
+      d.onehot[static_cast<std::size_t>(k)] = c.or2(pos, neg);
+    }
+    // |d| == half happens only at u == half, for either sign.
+    d.onehot[static_cast<std::size_t>(half)] =
+        rtl::equals_constant(c, u, static_cast<u128>(half));
+    transfer = t_out;
+  }
+
+  // Top transfer digit: 0 or +1.
+  DigitNets& top = out[static_cast<std::size_t>(groups)];
+  top.sign = c.const0();
+  top.onehot.assign(static_cast<std::size_t>(half) + 1, c.const0());
+  top.onehot[1] = transfer;
+  return out;
+}
+
+std::vector<Bus> build_multiples(Circuit& c, const Bus& x, int g,
+                                 rtl::PrefixKind adder_kind) {
+  const int n = static_cast<int>(x.size());
+  const int width = n + g - 1;  // enc' width
+  const int half = 1 << (g - 1);
+
+  Circuit::Scope scope(c, "precomp");
+  std::vector<Bus> m(static_cast<std::size_t>(half) + 1);
+  auto shifted = [&](int sh) {
+    return netlist::shift_left(c, x, sh, width);
+  };
+  m[0] = netlist::constant_bus(c, 0, width);
+  m[1] = shifted(0);
+  if (half >= 2) m[2] = shifted(1);
+  if (half >= 4) {
+    // 3X = X + 2X.
+    m[3] = rtl::prefix_adder(c, m[1], m[2], c.const0(), adder_kind).sum;
+    m[4] = shifted(2);
+  }
+  if (half >= 8) {
+    // 5X = X + 4X.
+    m[5] = rtl::prefix_adder(c, m[1], m[4], c.const0(), adder_kind).sum;
+    // 6X = 3X << 1.
+    m[6] = netlist::shift_left(c, m[3], 1, width);
+    // 7X = 8X - X = 8X + ~X + 1.
+    Bus not_x(static_cast<std::size_t>(width));
+    for (int i = 0; i < width; ++i)
+      not_x[static_cast<std::size_t>(i)] =
+          i < n ? c.not_(x[static_cast<std::size_t>(i)]) : c.const1();
+    m[7] = rtl::prefix_adder(c, shifted(3), not_x, c.const1(), adder_kind).sum;
+    m[8] = shifted(3);
+  }
+  return m;
+}
+
+Bus build_pp_row(Circuit& c, const std::vector<Bus>& multiples,
+                 const DigitNets& digit) {
+  assert(digit.onehot.size() == multiples.size());
+  std::vector<Bus> data(multiples.begin() + 1, multiples.end());
+  std::vector<NetId> sel(digit.onehot.begin() + 1, digit.onehot.end());
+  const Bus mag = rtl::mux_onehot_bus(c, data, sel);
+  return netlist::xor_bus(c, mag, digit.sign);
+}
+
+void add_dot(Circuit& c, rtl::BitMatrix& m, int col, NetId net) {
+  if (net == c.const0()) return;
+  m.add_bit(col, net);
+}
+
+void place_row(Circuit& c, rtl::BitMatrix& m, const Bus& encp, NetId sign,
+               int offset) {
+  for (std::size_t j = 0; j < encp.size(); ++j)
+    add_dot(c, m, offset + static_cast<int>(j), encp[j]);
+  add_dot(c, m, offset, sign);                                    // +s
+  add_dot(c, m, offset + static_cast<int>(encp.size()), c.not_(sign));  // !s
+}
+
+}  // namespace mfm::mult

@@ -1,0 +1,56 @@
+// Netlist builders for multiplier recoding and partial-product generation
+// (paper Fig. 1): carry-free radix-2^g recoder, odd-multiple pre-computation
+// adders, one-hot PP selection muxes and the XOR complement row, plus
+// placement of the sign-extension-reduction dots into a BitMatrix.
+//
+// The word-level mirror of everything here is arith/recode.h and
+// arith/pparray.h; tests assert netlist == word model bit for bit.
+#pragma once
+
+#include <vector>
+
+#include "netlist/bus.h"
+#include "netlist/circuit.h"
+#include "rtl/adders.h"
+#include "rtl/pptree.h"
+
+namespace mfm::mult {
+
+using netlist::Bus;
+using netlist::Circuit;
+using netlist::NetId;
+
+/// Control nets of one recoded digit: sign and the one-hot magnitude
+/// selects (onehot[k] high selects multiple k*X; none high means digit 0).
+struct DigitNets {
+  NetId sign;                  ///< digit < 0
+  std::vector<NetId> onehot;   ///< index 1 .. 2^(g-1)
+};
+
+/// Builds the carry-free radix-2^g recoder over the n-bit multiplier bus
+/// @p y (n = y.size(), must be a multiple of g).  Returns n/g + 1 digit
+/// control bundles; the last is the top transfer digit.
+std::vector<DigitNets> build_recoder(Circuit& c, const Bus& y, int g);
+
+/// Builds the multiple set {0..2^(g-1)} * X as (n+g-1)-bit buses.
+/// Even multiples are wiring; odd multiples (3X, 5X, 7X) use
+/// carry-propagate adders of the given prefix kind in a "precomp" scope
+/// (paper Sec. II: 3X = X + 2X, 5X = X + 4X, 7X = 8X - X).
+std::vector<Bus> build_multiples(Circuit& c, const Bus& x, int g,
+                                 rtl::PrefixKind adder_kind);
+
+/// Selects |d|*X for one digit and conditionally complements it:
+/// returns enc' = (sign ? ~mag : mag), an (n+g-1)-bit bus.
+Bus build_pp_row(Circuit& c, const std::vector<Bus>& multiples,
+                 const DigitNets& digit);
+
+/// Adds one encoded row to the matrix with sign-extension-reduction dots:
+/// enc' bits at @p offset, the +sign dot at @p offset, the !sign dot at
+/// offset + width(enc').  The caller adds the shared compensation constant.
+void place_row(Circuit& c, rtl::BitMatrix& m, const Bus& encp, NetId sign,
+               int offset);
+
+/// Adds a dot unless it is the constant-0 net.
+void add_dot(Circuit& c, rtl::BitMatrix& m, int col, NetId net);
+
+}  // namespace mfm::mult

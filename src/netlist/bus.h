@@ -1,0 +1,78 @@
+// Bus construction helpers: constants, slicing, zero-extension.
+#pragma once
+
+#include <cassert>
+
+#include "common/u128.h"
+#include "netlist/circuit.h"
+
+namespace mfm::netlist {
+
+/// A @p width bit bus of constant nets holding @p value (LSB first).
+inline Bus constant_bus(Circuit& c, u128 value, int width) {
+  Bus b(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) b[i] = c.constant(bit_of(value, i));
+  return b;
+}
+
+/// bus[lo .. lo+width-1]; requires the range to be in bounds.
+inline Bus slice(const Bus& bus, int lo, int width) {
+  assert(lo >= 0 && lo + width <= static_cast<int>(bus.size()));
+  return Bus(bus.begin() + lo, bus.begin() + lo + width);
+}
+
+/// Zero-extends (or truncates) @p bus to @p width bits.
+inline Bus zext(Circuit& c, const Bus& bus, int width) {
+  Bus out = bus;
+  out.resize(static_cast<std::size_t>(width), c.const0());
+  return out;
+}
+
+/// Concatenates: result = {hi, lo} with lo in the least-significant bits.
+inline Bus concat(const Bus& lo, const Bus& hi) {
+  Bus out = lo;
+  out.insert(out.end(), hi.begin(), hi.end());
+  return out;
+}
+
+/// Left-shift by a constant amount, keeping @p width bits.
+inline Bus shift_left(Circuit& c, const Bus& bus, int amount, int width) {
+  Bus out(static_cast<std::size_t>(width), c.const0());
+  for (int i = 0; i < width; ++i) {
+    const int src = i - amount;
+    if (src >= 0 && src < static_cast<int>(bus.size())) out[i] = bus[src];
+  }
+  return out;
+}
+
+/// Bitwise 2:1 mux across two equal-width buses.
+inline Bus mux2_bus(Circuit& c, const Bus& d0, const Bus& d1, NetId sel) {
+  assert(d0.size() == d1.size());
+  Bus out(d0.size());
+  for (std::size_t i = 0; i < d0.size(); ++i)
+    out[i] = c.mux2(d0[i], d1[i], sel);
+  return out;
+}
+
+/// Bitwise XOR of a bus with a single control net (conditional invert).
+inline Bus xor_bus(Circuit& c, const Bus& a, NetId ctl) {
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = c.xor2(a[i], ctl);
+  return out;
+}
+
+/// Bitwise AND of a bus with a single enable net.
+inline Bus and_bus(Circuit& c, const Bus& a, NetId en) {
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = c.and2(a[i], en);
+  return out;
+}
+
+/// Registers every net of @p a behind a DFF.
+inline Bus dff_bus(Circuit& c, const Bus& a) {
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = c.dff(a[i]);
+  return out;
+}
+
+}  // namespace mfm::netlist

@@ -1,0 +1,239 @@
+#include "netlist/circuit.h"
+
+#include <stdexcept>
+
+namespace mfm::netlist {
+
+Circuit::Circuit() {
+  module_paths_.push_back("top");
+  module_ids_.emplace("top", 0);
+  const0_ = add(GateKind::Const0);
+  const1_ = add(GateKind::Const1);
+}
+
+NetId Circuit::add(GateKind k, NetId a, NetId b, NetId c, NetId d) {
+  const int nin = fanin_count(k);
+  assert(nin < 1 || (a != kNoNet && a < gates_.size()));
+  assert(nin < 2 || (b != kNoNet && b < gates_.size()));
+  assert(nin < 3 || (c != kNoNet && c < gates_.size()));
+  assert(nin < 4 || (d != kNoNet && d < gates_.size()));
+  (void)nin;
+  Gate g;
+  g.kind = k;
+  g.module = current_module_;
+  g.in = {a, b, c, d};
+  const NetId id = static_cast<NetId>(gates_.size());
+  gates_.push_back(g);
+  if (k == GateKind::Input) inputs_.push_back(id);
+  if (k == GateKind::Dff) flops_.push_back(id);
+  return id;
+}
+
+NetId Circuit::input(const std::string& name) {
+  const NetId n = add(GateKind::Input);
+  in_ports_[name] = Bus{n};
+  return n;
+}
+
+Bus Circuit::input_bus(const std::string& name, int width) {
+  Bus bus(static_cast<std::size_t>(width));
+  for (auto& n : bus) n = add(GateKind::Input);
+  in_ports_[name] = bus;
+  return bus;
+}
+
+void Circuit::output(const std::string& name, NetId net) {
+  assert(net < gates_.size());
+  out_ports_[name] = Bus{net};
+}
+
+void Circuit::output_bus(const std::string& name, const Bus& bus) {
+  out_ports_[name] = bus;
+}
+
+// ---- constant-folding convenience builders --------------------------------
+//
+// Folding constants and trivial identities keeps the generated netlists
+// close to what logic synthesis would emit (mode-constant rounding vectors,
+// blanked array positions, zero-padded operands), which matters for the
+// area and power figures.
+
+namespace {
+bool is_c0(const Circuit& c, NetId n) {
+  return c.gate(n).kind == GateKind::Const0;
+}
+bool is_c1(const Circuit& c, NetId n) {
+  return c.gate(n).kind == GateKind::Const1;
+}
+}  // namespace
+
+NetId Circuit::not_(NetId a) {
+  if (is_c0(*this, a)) return const1_;
+  if (is_c1(*this, a)) return const0_;
+  if (gate(a).kind == GateKind::Not) return gate(a).in[0];
+  return add(GateKind::Not, a);
+}
+
+NetId Circuit::and2(NetId a, NetId b) {
+  if (is_c0(*this, a) || is_c0(*this, b)) return const0_;
+  if (is_c1(*this, a)) return b;
+  if (is_c1(*this, b)) return a;
+  if (a == b) return a;
+  return add(GateKind::And2, a, b);
+}
+
+NetId Circuit::or2(NetId a, NetId b) {
+  if (is_c1(*this, a) || is_c1(*this, b)) return const1_;
+  if (is_c0(*this, a)) return b;
+  if (is_c0(*this, b)) return a;
+  if (a == b) return a;
+  return add(GateKind::Or2, a, b);
+}
+
+NetId Circuit::xor2(NetId a, NetId b) {
+  if (is_c0(*this, a)) return b;
+  if (is_c0(*this, b)) return a;
+  if (is_c1(*this, a)) return not_(b);
+  if (is_c1(*this, b)) return not_(a);
+  if (a == b) return const0_;
+  return add(GateKind::Xor2, a, b);
+}
+
+NetId Circuit::xnor2(NetId a, NetId b) {
+  if (is_c0(*this, a)) return not_(b);
+  if (is_c0(*this, b)) return not_(a);
+  if (is_c1(*this, a)) return b;
+  if (is_c1(*this, b)) return a;
+  if (a == b) return const1_;
+  return add(GateKind::Xnor2, a, b);
+}
+
+NetId Circuit::andnot2(NetId a, NetId b) {
+  if (is_c0(*this, a) || is_c1(*this, b)) return const0_;
+  if (is_c0(*this, b)) return a;
+  if (is_c1(*this, a)) return not_(b);
+  if (a == b) return const0_;
+  return add(GateKind::AndNot2, a, b);
+}
+
+NetId Circuit::and3(NetId a, NetId b, NetId c) {
+  if (is_c0(*this, a) || is_c0(*this, b) || is_c0(*this, c)) return const0_;
+  if (is_c1(*this, a)) return and2(b, c);
+  if (is_c1(*this, b)) return and2(a, c);
+  if (is_c1(*this, c)) return and2(a, b);
+  return add(GateKind::And3, a, b, c);
+}
+
+NetId Circuit::or3(NetId a, NetId b, NetId c) {
+  if (is_c1(*this, a) || is_c1(*this, b) || is_c1(*this, c)) return const1_;
+  if (is_c0(*this, a)) return or2(b, c);
+  if (is_c0(*this, b)) return or2(a, c);
+  if (is_c0(*this, c)) return or2(a, b);
+  return add(GateKind::Or3, a, b, c);
+}
+
+NetId Circuit::xor3(NetId a, NetId b, NetId c) {
+  if (is_c0(*this, a)) return xor2(b, c);
+  if (is_c0(*this, b)) return xor2(a, c);
+  if (is_c0(*this, c)) return xor2(a, b);
+  if (is_c1(*this, a)) return xnor2(b, c);
+  if (is_c1(*this, b)) return xnor2(a, c);
+  if (is_c1(*this, c)) return xnor2(a, b);
+  return add(GateKind::Xor3, a, b, c);
+}
+
+NetId Circuit::maj3(NetId a, NetId b, NetId c) {
+  if (is_c0(*this, a)) return and2(b, c);
+  if (is_c0(*this, b)) return and2(a, c);
+  if (is_c0(*this, c)) return and2(a, b);
+  if (is_c1(*this, a)) return or2(b, c);
+  if (is_c1(*this, b)) return or2(a, c);
+  if (is_c1(*this, c)) return or2(a, b);
+  return add(GateKind::Maj3, a, b, c);
+}
+
+NetId Circuit::ao21(NetId a, NetId b, NetId c) {
+  if (is_c1(*this, c)) return const1_;
+  if (is_c0(*this, a) || is_c0(*this, b)) return c;
+  if (is_c0(*this, c)) return and2(a, b);
+  if (is_c1(*this, a)) return or2(b, c);
+  if (is_c1(*this, b)) return or2(a, c);
+  return add(GateKind::Ao21, a, b, c);
+}
+
+NetId Circuit::oa21(NetId a, NetId b, NetId c) {
+  if (is_c0(*this, c)) return const0_;
+  if (is_c1(*this, a) || is_c1(*this, b)) return c;
+  if (is_c1(*this, c)) return or2(a, b);
+  if (is_c0(*this, a)) return and2(b, c);
+  if (is_c0(*this, b)) return and2(a, c);
+  return add(GateKind::Oa21, a, b, c);
+}
+
+NetId Circuit::ao22(NetId a, NetId b, NetId c, NetId d) {
+  if (is_c0(*this, a) || is_c0(*this, b)) return and2(c, d);
+  if (is_c0(*this, c) || is_c0(*this, d)) return and2(a, b);
+  if (is_c1(*this, a)) return ao21(c, d, b);
+  if (is_c1(*this, b)) return ao21(c, d, a);
+  if (is_c1(*this, c)) return ao21(a, b, d);
+  if (is_c1(*this, d)) return ao21(a, b, c);
+  return add(GateKind::Ao22, a, b, c, d);
+}
+
+NetId Circuit::mux2(NetId d0, NetId d1, NetId sel) {
+  if (is_c0(*this, sel)) return d0;
+  if (is_c1(*this, sel)) return d1;
+  if (d0 == d1) return d0;
+  if (is_c0(*this, d0) && is_c1(*this, d1)) return sel;
+  if (is_c1(*this, d0) && is_c0(*this, d1)) return not_(sel);
+  if (is_c0(*this, d0)) return and2(d1, sel);
+  if (is_c1(*this, d0)) return ornot2(d1, sel);
+  if (is_c0(*this, d1)) return andnot2(d0, sel);
+  if (is_c1(*this, d1)) return or2(d0, sel);
+  return add(GateKind::Mux2, d0, d1, sel);
+}
+
+// ---- modules ---------------------------------------------------------------
+
+std::uint16_t Circuit::intern_module(const std::string& path) {
+  auto it = module_ids_.find(path);
+  if (it != module_ids_.end()) return it->second;
+  if (module_paths_.size() >= 0xFFFF)
+    throw std::length_error("too many module labels");
+  const auto id = static_cast<std::uint16_t>(module_paths_.size());
+  module_paths_.push_back(path);
+  module_ids_.emplace(path, id);
+  return id;
+}
+
+Circuit::Scope::Scope(Circuit& c, const std::string& name)
+    : c_(c), saved_(c.current_module_) {
+  const std::string& base = c.module_paths_[saved_];
+  c.current_module_ = c.intern_module(base + "/" + name);
+}
+
+Circuit::Scope::~Scope() { c_.current_module_ = saved_; }
+
+// ---- ports / stats ---------------------------------------------------------
+
+const Bus& Circuit::in_port(const std::string& name) const {
+  auto it = in_ports_.find(name);
+  if (it == in_ports_.end())
+    throw std::out_of_range("no input port: " + name);
+  return it->second;
+}
+
+const Bus& Circuit::out_port(const std::string& name) const {
+  auto it = out_ports_.find(name);
+  if (it == out_ports_.end())
+    throw std::out_of_range("no output port: " + name);
+  return it->second;
+}
+
+std::vector<std::size_t> Circuit::kind_histogram() const {
+  std::vector<std::size_t> h(kGateKindCount, 0);
+  for (const Gate& g : gates_) ++h[static_cast<std::size_t>(g.kind)];
+  return h;
+}
+
+}  // namespace mfm::netlist

@@ -1,0 +1,139 @@
+// Circuit: a gate-level netlist under construction and its port map.
+//
+// Gates are appended in topological order (every fan-in must already
+// exist), so the creation order is a valid evaluation order for the
+// simulators and the static timing analyzer.  A Bus is an ordered list of
+// nets, LSB first.  Module labels form a hierarchy of '/'-separated path
+// strings used by area/timing/power reports.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/gate.h"
+
+namespace mfm::netlist {
+
+/// An ordered collection of nets, index 0 = least-significant bit.
+using Bus = std::vector<NetId>;
+
+/// A gate-level netlist plus named primary inputs and outputs.
+class Circuit {
+ public:
+  Circuit();
+
+  // ---- construction ------------------------------------------------------
+
+  /// Adds a gate and returns the id of its output net.
+  NetId add(GateKind k, NetId a = kNoNet, NetId b = kNoNet, NetId c = kNoNet,
+            NetId d = kNoNet);
+
+  NetId const0() const { return const0_; }
+  NetId const1() const { return const1_; }
+  /// Constant net for @p v.
+  NetId constant(bool v) const { return v ? const1_ : const0_; }
+
+  /// Creates a named single-bit primary input.
+  NetId input(const std::string& name);
+  /// Creates a named @p width bit primary input bus (LSB first).
+  Bus input_bus(const std::string& name, int width);
+
+  /// Declares @p net as the named primary output @p name.
+  void output(const std::string& name, NetId net);
+  /// Declares a named primary output bus.
+  void output_bus(const std::string& name, const Bus& bus);
+
+  // Convenience builders.
+  NetId buf(NetId a) { return add(GateKind::Buf, a); }
+  NetId not_(NetId a);
+  NetId and2(NetId a, NetId b);
+  NetId or2(NetId a, NetId b);
+  NetId xor2(NetId a, NetId b);
+  NetId nand2(NetId a, NetId b) { return add(GateKind::Nand2, a, b); }
+  NetId nor2(NetId a, NetId b) { return add(GateKind::Nor2, a, b); }
+  NetId xnor2(NetId a, NetId b);
+  NetId andnot2(NetId a, NetId b);  ///< a & !b
+  NetId ornot2(NetId a, NetId b) { return add(GateKind::OrNot2, a, b); }
+  NetId and3(NetId a, NetId b, NetId c);
+  NetId or3(NetId a, NetId b, NetId c);
+  NetId xor3(NetId a, NetId b, NetId c);
+  NetId maj3(NetId a, NetId b, NetId c);
+  /// (a & b) | c
+  NetId ao21(NetId a, NetId b, NetId c);
+  /// (a | b) & c
+  NetId oa21(NetId a, NetId b, NetId c);
+  /// (a & b) | (c & d)
+  NetId ao22(NetId a, NetId b, NetId c, NetId d);
+  /// 2:1 mux: returns sel ? d1 : d0.
+  NetId mux2(NetId d0, NetId d1, NetId sel);
+  /// D flip-flop; returns Q.
+  NetId dff(NetId d) { return add(GateKind::Dff, d); }
+
+  // ---- module labelling --------------------------------------------------
+
+  /// Interns a module path string ("top/ppgen/row3") and returns its id.
+  std::uint16_t intern_module(const std::string& path);
+
+  /// RAII helper: gates added while a Scope is alive are labelled with the
+  /// scope's module path; scopes nest by appending "/name".
+  class Scope {
+   public:
+    Scope(Circuit& c, const std::string& name);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Circuit& c_;
+    std::uint16_t saved_;
+  };
+
+  const std::string& module_path(std::uint16_t id) const {
+    return module_paths_[id];
+  }
+  std::size_t module_count() const { return module_paths_.size(); }
+
+  // ---- inspection --------------------------------------------------------
+
+  std::size_t size() const { return gates_.size(); }
+  const Gate& gate(NetId n) const { return gates_[n]; }
+  const std::vector<Gate>& gates() const { return gates_; }
+
+  const std::vector<NetId>& primary_inputs() const { return inputs_; }
+  const std::vector<NetId>& flops() const { return flops_; }
+
+  /// Looks up a named input/output port; asserts if absent.
+  const Bus& in_port(const std::string& name) const;
+  const Bus& out_port(const std::string& name) const;
+  bool has_out_port(const std::string& name) const {
+    return out_ports_.contains(name);
+  }
+
+  const std::unordered_map<std::string, Bus>& in_ports() const {
+    return in_ports_;
+  }
+  const std::unordered_map<std::string, Bus>& out_ports() const {
+    return out_ports_;
+  }
+
+  /// Number of gates of each kind (histogram), excluding Const/Input.
+  std::vector<std::size_t> kind_histogram() const;
+
+ private:
+  std::vector<Gate> gates_;
+  std::vector<NetId> inputs_;
+  std::vector<NetId> flops_;
+  std::unordered_map<std::string, Bus> in_ports_;
+  std::unordered_map<std::string, Bus> out_ports_;
+  std::vector<std::string> module_paths_;
+  std::unordered_map<std::string, std::uint16_t> module_ids_;
+  std::uint16_t current_module_ = 0;
+  NetId const0_ = kNoNet;
+  NetId const1_ = kNoNet;
+};
+
+}  // namespace mfm::netlist

@@ -1,0 +1,60 @@
+// Activity-based power model.
+//
+// Dynamic power is computed from per-net transition counts recorded by the
+// event-driven simulator:  P_dyn = sum_nets  N_toggles * E_toggle / T_sim,
+// where E_toggle includes the driving cell's internal energy and the energy
+// to swing the net load (fan-out pin caps + a wire estimate).  Clock-tree
+// power is charged per flop per cycle, leakage proportionally to area.
+// This mirrors what a gate-level SAIF/VCD power flow (as used in the paper)
+// computes, with an abstract library in place of the 45 nm cells.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "netlist/sim_event.h"
+#include "netlist/techlib.h"
+
+namespace mfm::netlist {
+
+/// Power figures for one measurement [mW].
+struct PowerReport {
+  double dynamic_mw = 0.0;   ///< combinational + register data switching
+  double clock_mw = 0.0;     ///< clock tree / register clock pins
+  double leakage_mw = 0.0;   ///< area-proportional static power
+  double total_mw() const { return dynamic_mw + clock_mw + leakage_mw; }
+  double freq_mhz = 0.0;
+  std::uint64_t cycles = 0;
+  /// Dynamic power by module label (truncated to report depth).
+  std::map<std::string, double> by_module_mw;
+};
+
+/// Computes power from a simulated activity profile.
+class PowerModel {
+ public:
+  PowerModel(const Circuit& c, const TechLib& lib);
+
+  /// Energy per transition of net @p n [fJ] (precomputed from the library).
+  double toggle_energy_fj(NetId n) const { return net_energy_fj_[n]; }
+
+  /// Total cell area [NAND2 equivalents].
+  double area_nand2() const { return area_nand2_; }
+  /// Total cell area [um^2].
+  double area_um2() const;
+
+  /// Builds a report from the simulator's accumulated transition counts,
+  /// assuming a clock frequency of @p freq_mhz.  @p module_depth controls
+  /// the granularity of the per-module breakdown.
+  PowerReport report(const EventSim& sim, double freq_mhz,
+                     int module_depth = 2) const;
+
+ private:
+  const Circuit& c_;
+  const TechLib& lib_;
+  std::vector<double> net_energy_fj_;
+  double area_nand2_ = 0.0;
+};
+
+}  // namespace mfm::netlist

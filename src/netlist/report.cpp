@@ -1,0 +1,57 @@
+#include "netlist/report.h"
+
+#include <sstream>
+
+namespace mfm::netlist {
+
+namespace {
+
+std::string truncate_module(const std::string& path, int depth) {
+  std::size_t pos = 0;
+  for (int i = 0; i < depth; ++i) {
+    pos = path.find('/', pos);
+    if (pos == std::string::npos) return path;
+    ++pos;
+  }
+  return path.substr(0, pos == 0 ? path.size() : pos - 1);
+}
+
+}  // namespace
+
+std::map<std::string, ModuleArea> area_by_module(const Circuit& c,
+                                                 const TechLib& lib,
+                                                 int module_depth) {
+  std::map<std::string, ModuleArea> out;
+  for (const Gate& g : c.gates()) {
+    if (g.kind == GateKind::Input || g.kind == GateKind::Const0 ||
+        g.kind == GateKind::Const1)
+      continue;
+    auto& m = out[truncate_module(c.module_path(g.module), module_depth)];
+    m.area_nand2 += lib.cell(g.kind).area_nand2;
+    m.gates += 1;
+    if (g.kind == GateKind::Dff) m.flops += 1;
+  }
+  return out;
+}
+
+double total_area_nand2(const Circuit& c, const TechLib& lib) {
+  double a = 0.0;
+  for (const Gate& g : c.gates()) a += lib.cell(g.kind).area_nand2;
+  return a;
+}
+
+std::string format_kind_histogram(const Circuit& c) {
+  const auto h = c.kind_histogram();
+  std::ostringstream os;
+  for (std::size_t k = 0; k < h.size(); ++k) {
+    if (h[k] == 0) continue;
+    const auto kind = static_cast<GateKind>(k);
+    if (kind == GateKind::Input || kind == GateKind::Const0 ||
+        kind == GateKind::Const1)
+      continue;
+    os << gate_name(kind) << ": " << h[k] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mfm::netlist

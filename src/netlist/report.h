@@ -1,0 +1,32 @@
+// Area / structure reports over a Circuit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "netlist/circuit.h"
+#include "netlist/techlib.h"
+
+namespace mfm::netlist {
+
+/// Area and gate count of one module (or module subtree).
+struct ModuleArea {
+  double area_nand2 = 0.0;
+  std::size_t gates = 0;
+  std::size_t flops = 0;
+};
+
+/// Aggregates cell area per module label, truncated to @p module_depth
+/// path components ("top/ppgen/row3" at depth 2 -> "top/ppgen").
+std::map<std::string, ModuleArea> area_by_module(const Circuit& c,
+                                                 const TechLib& lib,
+                                                 int module_depth = 2);
+
+/// Total cell area of the circuit [NAND2 equivalents].
+double total_area_nand2(const Circuit& c, const TechLib& lib);
+
+/// Formats a gate-kind histogram as a short text table.
+std::string format_kind_histogram(const Circuit& c);
+
+}  // namespace mfm::netlist

@@ -1,0 +1,147 @@
+#include "netlist/sim_event.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace mfm::netlist {
+
+EventSim::EventSim(const Circuit& c, const TechLib& lib)
+    : c_(c),
+      lib_(lib),
+      values_(c.size(), 0),
+      staged_pi_(c.size(), 0),
+      state_(c.flops().size(), 0),
+      flop_ordinal_(c.size(), 0),
+      toggles_(c.size(), 0),
+      latest_seq_(c.size(), 0) {
+  for (std::size_t i = 0; i < c.flops().size(); ++i)
+    flop_ordinal_[c.flops()[i]] = static_cast<std::uint32_t>(i);
+
+  // Build CSR fan-out lists.
+  std::vector<std::uint32_t> deg(c.size() + 1, 0);
+  for (NetId g = 0; g < c.size(); ++g) {
+    const Gate& gate = c.gate(g);
+    const int nin = fanin_count(gate.kind);
+    for (int p = 0; p < nin; ++p) ++deg[gate.in[p]];
+  }
+  fanout_off_.assign(c.size() + 1, 0);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    fanout_off_[i + 1] = fanout_off_[i] + deg[i];
+  fanout_.resize(fanout_off_.back());
+  std::vector<std::uint32_t> fill(c.size(), 0);
+  for (NetId g = 0; g < c.size(); ++g) {
+    const Gate& gate = c.gate(g);
+    const int nin = fanin_count(gate.kind);
+    for (int p = 0; p < nin; ++p) {
+      const NetId src = gate.in[p];
+      fanout_[fanout_off_[src] + fill[src]++] = g;
+    }
+  }
+
+  // Settle the initial state (all inputs 0): evaluate levelized once so the
+  // first cycle's transition counts are relative to a consistent state.
+  for (NetId g = 0; g < c.size(); ++g) {
+    const Gate& gate = c.gate(g);
+    if (gate.kind == GateKind::Input) continue;
+    if (gate.kind == GateKind::Dff) {
+      values_[g] = state_[flop_ordinal_[g]];
+      continue;
+    }
+    const bool a = gate.in[0] != kNoNet && values_[gate.in[0]] != 0;
+    const bool b = gate.in[1] != kNoNet && values_[gate.in[1]] != 0;
+    const bool cc = gate.in[2] != kNoNet && values_[gate.in[2]] != 0;
+    const bool dd = gate.in[3] != kNoNet && values_[gate.in[3]] != 0;
+    values_[g] = eval_gate(gate.kind, a, b, cc, dd) ? 1 : 0;
+  }
+}
+
+void EventSim::set(NetId input_net, bool v) {
+  assert(c_.gate(input_net).kind == GateKind::Input);
+  staged_pi_[input_net] = v ? 1 : 0;
+}
+
+void EventSim::set_bus(const Bus& bus, u128 value) {
+  for (std::size_t i = 0; i < bus.size(); ++i)
+    set(bus[i], i < 128 && bit_of(value, static_cast<int>(i)));
+}
+
+void EventSim::set_port(const std::string& name, u128 value) {
+  set_bus(c_.in_port(name), value);
+}
+
+void EventSim::seed_change(NetId net, bool v, double at_ps) {
+  if ((values_[net] != 0) == v) return;
+  values_[net] = v ? 1 : 0;
+  ++toggles_[net];
+  ++events_;
+  // Schedule re-evaluation of every fan-out gate.
+  for (std::uint32_t i = fanout_off_[net]; i < fanout_off_[net + 1]; ++i) {
+    const NetId g = fanout_[i];
+    const Gate& gate = c_.gate(g);
+    if (gate.kind == GateKind::Dff) continue;  // sampled at end of cycle
+    const bool a = gate.in[0] != kNoNet && values_[gate.in[0]] != 0;
+    const bool b = gate.in[1] != kNoNet && values_[gate.in[1]] != 0;
+    const bool cc = gate.in[2] != kNoNet && values_[gate.in[2]] != 0;
+    const bool dd = gate.in[3] != kNoNet && values_[gate.in[3]] != 0;
+    const bool out = eval_gate(gate.kind, a, b, cc, dd);
+    // Inertial delay: this schedule supersedes any event still in flight
+    // for the same gate (pulses shorter than the gate delay are filtered).
+    latest_seq_[g] = seq_;
+    heap_.push_back(Event{at_ps + lib_.delay_ps(gate.kind), seq_++, g, out});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  }
+}
+
+void EventSim::propagate() {
+  const std::uint64_t limit = 2000ull * c_.size() + 100000ull;
+  std::uint64_t processed = 0;
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    const Event e = heap_.back();
+    heap_.pop_back();
+    if (latest_seq_[e.net] != e.seq) continue;  // superseded (inertial)
+    if ((values_[e.net] != 0) == e.value) continue;
+    seed_change(e.net, e.value, e.time);
+    if (++processed > limit)
+      throw std::runtime_error("EventSim: event limit exceeded");
+  }
+}
+
+void EventSim::cycle() {
+  // Apply staged primary inputs at t = 0.
+  for (NetId pi : c_.primary_inputs())
+    seed_change(pi, staged_pi_[pi] != 0, 0.0);
+  // DFF outputs change at clk-to-q after the edge.
+  for (std::size_t i = 0; i < c_.flops().size(); ++i) {
+    const NetId q = c_.flops()[i];
+    seed_change(q, state_[i] != 0, lib_.clk_to_q_ps());
+  }
+  propagate();
+  // End of cycle: capture D into state for the next edge.
+  for (std::size_t i = 0; i < c_.flops().size(); ++i) {
+    const Gate& g = c_.gate(c_.flops()[i]);
+    state_[i] = values_[g.in[0]];
+  }
+  ++cycles_;
+}
+
+u128 EventSim::read_bus(const Bus& bus) const {
+  assert(bus.size() <= 128);
+  u128 v = 0;
+  for (std::size_t i = 0; i < bus.size(); ++i)
+    if (values_[bus[i]]) v |= static_cast<u128>(1) << i;
+  return v;
+}
+
+u128 EventSim::read_port(const std::string& name) const {
+  return read_bus(c_.out_port(name));
+}
+
+void EventSim::reset_counts() {
+  std::fill(toggles_.begin(), toggles_.end(), 0);
+  cycles_ = 0;
+  events_ = 0;
+}
+
+}  // namespace mfm::netlist

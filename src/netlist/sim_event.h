@@ -1,0 +1,84 @@
+// Event-driven timing simulator with per-net transition counting.
+//
+// Gates have inertial delays from the technology model: when a gate's
+// inputs settle at different times the output emits the intermediate
+// values (glitches), but a pulse shorter than the gate's own delay is
+// filtered (a newly scheduled output value cancels one still in flight,
+// the standard inertial-delay model).  Transition counts including
+// glitches feed the activity-based power model -- glitch power is the
+// mechanism behind the paper's combinational-vs-pipelined comparison
+// (Table III), so modelling it is load-bearing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/u128.h"
+#include "netlist/circuit.h"
+#include "netlist/techlib.h"
+
+namespace mfm::netlist {
+
+/// Event-driven two-valued simulator over a frozen Circuit.
+///
+/// Usage per clock cycle:
+///   sim.set_port("x", value);   // stage the next primary-input values
+///   sim.cycle();                // propagate; at the end, DFFs capture D
+/// Transition counts accumulate across cycles in toggles().
+class EventSim {
+ public:
+  EventSim(const Circuit& c, const TechLib& lib);
+
+  /// Stages the next value of a primary input (applied by cycle()).
+  void set(NetId input_net, bool v);
+  void set_bus(const Bus& bus, u128 value);
+  void set_port(const std::string& name, u128 value);
+
+  /// Runs one clock cycle: applies staged inputs and DFF outputs at t=0
+  /// (Q after clk-to-q), propagates all events, then captures DFF inputs.
+  void cycle();
+
+  bool value(NetId n) const { return values_[n] != 0; }
+  u128 read_bus(const Bus& bus) const;
+  u128 read_port(const std::string& name) const;
+
+  /// Transition count per net since construction (or reset_counts()).
+  const std::vector<std::uint64_t>& toggles() const { return toggles_; }
+  std::uint64_t cycles_run() const { return cycles_; }
+  std::uint64_t events_processed() const { return events_; }
+  void reset_counts();
+
+ private:
+  void seed_change(NetId net, bool v, double at_ps);
+  void propagate();
+
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    NetId net;
+    bool value;
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  const Circuit& c_;
+  const TechLib& lib_;
+  std::vector<std::uint8_t> values_;
+  std::vector<std::uint8_t> staged_pi_;
+  std::vector<std::uint8_t> state_;            // DFF state by flop ordinal
+  std::vector<std::uint32_t> flop_ordinal_;
+  std::vector<std::uint64_t> toggles_;
+  std::vector<std::uint64_t> latest_seq_;  // inertial cancellation marker
+  // CSR fan-out adjacency: gates driven by each net.
+  std::vector<std::uint32_t> fanout_off_;
+  std::vector<NetId> fanout_;
+  std::vector<Event> heap_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace mfm::netlist

@@ -1,0 +1,72 @@
+#include "netlist/sim_level.h"
+
+#include <cassert>
+
+namespace mfm::netlist {
+
+LevelSim::LevelSim(const Circuit& c)
+    : c_(c),
+      values_(c.size(), 0),
+      state_(c.flops().size(), 0),
+      flop_ordinal_(c.size(), 0) {
+  for (std::size_t i = 0; i < c.flops().size(); ++i)
+    flop_ordinal_[c.flops()[i]] = static_cast<std::uint32_t>(i);
+  eval();
+}
+
+void LevelSim::set(NetId input_net, bool v) {
+  assert(c_.gate(input_net).kind == GateKind::Input);
+  values_[input_net] = v ? 1 : 0;
+}
+
+void LevelSim::set_bus(const Bus& bus, u128 value) {
+  for (std::size_t i = 0; i < bus.size(); ++i)
+    set(bus[i], i < 128 && bit_of(value, static_cast<int>(i)));
+}
+
+void LevelSim::set_port(const std::string& name, u128 value) {
+  set_bus(c_.in_port(name), value);
+}
+
+void LevelSim::eval() {
+  const auto& gates = c_.gates();
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const Gate& g = gates[i];
+    switch (g.kind) {
+      case GateKind::Input:
+        break;  // externally driven
+      case GateKind::Dff:
+        values_[i] = state_[flop_ordinal_[i]];
+        break;
+      default: {
+        const bool a = g.in[0] != kNoNet && values_[g.in[0]] != 0;
+        const bool b = g.in[1] != kNoNet && values_[g.in[1]] != 0;
+        const bool cc = g.in[2] != kNoNet && values_[g.in[2]] != 0;
+        const bool dd = g.in[3] != kNoNet && values_[g.in[3]] != 0;
+        values_[i] = eval_gate(g.kind, a, b, cc, dd) ? 1 : 0;
+        break;
+      }
+    }
+  }
+}
+
+void LevelSim::clock() {
+  for (std::size_t i = 0; i < c_.flops().size(); ++i) {
+    const Gate& g = c_.gate(c_.flops()[i]);
+    state_[i] = values_[g.in[0]];
+  }
+}
+
+u128 LevelSim::read_bus(const Bus& bus) const {
+  assert(bus.size() <= 128);
+  u128 v = 0;
+  for (std::size_t i = 0; i < bus.size(); ++i)
+    if (values_[bus[i]]) v |= static_cast<u128>(1) << i;
+  return v;
+}
+
+u128 LevelSim::read_port(const std::string& name) const {
+  return read_bus(c_.out_port(name));
+}
+
+}  // namespace mfm::netlist

@@ -1,0 +1,53 @@
+// Zero-delay levelized simulator.
+//
+// Evaluates the whole circuit in construction order (which is topological),
+// treating DFF outputs as state sourced from the previous clock edge.  Used
+// for functional verification; see EventSim for the timing/power simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/u128.h"
+#include "netlist/circuit.h"
+
+namespace mfm::netlist {
+
+/// Two-valued zero-delay simulator over a frozen Circuit.
+class LevelSim {
+ public:
+  explicit LevelSim(const Circuit& c);
+
+  /// Sets the value of a primary-input net (does not re-evaluate).
+  void set(NetId input_net, bool v);
+  /// Sets an input bus (LSB first) from the low bits of @p value.
+  void set_bus(const Bus& bus, u128 value);
+  /// Sets a named input port.
+  void set_port(const std::string& name, u128 value);
+
+  /// Evaluates all combinational gates; DFFs output their current state.
+  void eval();
+
+  /// Clock edge: captures every DFF's D input into its state.
+  void clock();
+
+  /// Convenience: eval(), then clock().
+  void step() {
+    eval();
+    clock();
+  }
+
+  bool value(NetId n) const { return values_[n] != 0; }
+  /// Reads up to 128 bits of a bus (LSB first).
+  u128 read_bus(const Bus& bus) const;
+  u128 read_port(const std::string& name) const;
+
+ private:
+  const Circuit& c_;
+  std::vector<std::uint8_t> values_;  // current net values
+  std::vector<std::uint8_t> state_;   // DFF states, indexed by flop ordinal
+  std::vector<std::uint32_t> flop_ordinal_;  // net id -> ordinal (flops only)
+};
+
+}  // namespace mfm::netlist

@@ -1,0 +1,54 @@
+#include "netlist/techlib.h"
+
+namespace mfm::netlist {
+
+namespace {
+
+constexpr CellSpec spec(double delay_ps, double area_nand2, double cap_ff,
+                        double e_int_fj) {
+  return CellSpec{delay_ps, area_nand2, cap_ff, e_int_fj};
+}
+
+}  // namespace
+
+TechLib::TechLib() {
+  auto set = [this](GateKind k, CellSpec s) {
+    cells_[static_cast<std::size_t>(k)] = s;
+  };
+  // Delays are single-corner propagation delays for a low-power 45 nm
+  // library with FO4 = 64 ps.  Relative sizing follows common cell-library
+  // ratios: NAND2/NOR2 ~ 0.5 FO4; AND/OR (NAND+INV) ~ 0.7 FO4; XOR ~ 1 FO4;
+  // compound AOI/OAI ~ 0.75 FO4; MUX2 ~ 0.9 FO4; XOR3 ~ 1.8 FO4 (two
+  // cascaded XOR stages in one cell); MAJ3 ~ 1.25 FO4.
+  //
+  //                      delay_ps  area  cap_ff  e_int_fj
+  set(GateKind::Const0, spec(0.0,   0.00, 0.0,    0.00));
+  set(GateKind::Const1, spec(0.0,   0.00, 0.0,    0.00));
+  set(GateKind::Input,  spec(0.0,   0.00, 0.0,    0.00));
+  set(GateKind::Buf,    spec(38.0,  0.75, 1.2,    0.25));
+  set(GateKind::Not,    spec(22.0,  0.50, 1.4,    0.20));
+  set(GateKind::And2,   spec(45.0,  1.25, 1.3,    0.40));
+  set(GateKind::Or2,    spec(45.0,  1.25, 1.3,    0.40));
+  set(GateKind::Xor2,   spec(64.0,  2.25, 2.1,    1.25));
+  set(GateKind::Nand2,  spec(32.0,  1.00, 1.3,    0.30));
+  set(GateKind::Nor2,   spec(34.0,  1.00, 1.3,    0.30));
+  set(GateKind::Xnor2,  spec(64.0,  2.25, 2.1,    1.25));
+  set(GateKind::AndNot2,spec(45.0,  1.25, 1.3,    0.40));
+  set(GateKind::OrNot2, spec(45.0,  1.25, 1.3,    0.40));
+  set(GateKind::And3,   spec(55.0,  1.75, 1.3,    0.55));
+  set(GateKind::Or3,    spec(55.0,  1.75, 1.3,    0.55));
+  set(GateKind::Xor3,   spec(115.0, 4.50, 2.1,    3.40));
+  set(GateKind::Maj3,   spec(80.0,  2.50, 1.5,    1.80));
+  set(GateKind::Ao21,   spec(48.0,  1.50, 1.3,    0.45));
+  set(GateKind::Oa21,   spec(48.0,  1.50, 1.3,    0.45));
+  set(GateKind::Ao22,   spec(52.0,  1.50, 1.3,    0.50));
+  set(GateKind::Mux2,   spec(58.0,  2.25, 1.6,    1.00));
+  set(GateKind::Dff,    spec(0.0,   6.00, 1.6,    2.60));
+}
+
+const TechLib& TechLib::lp45() {
+  static const TechLib lib;
+  return lib;
+}
+
+}  // namespace mfm::netlist

@@ -1,0 +1,87 @@
+// Technology model: per-cell delay, area, capacitance and energy.
+//
+// The paper implements its units in a commercial 45 nm low-power
+// standard-cell library with FO4 = 64 ps and NAND2 area = 1.06 um^2.
+// We cannot use that library, so we characterize an equivalent abstract
+// library anchored at the same two constants.  Per-cell figures are chosen
+// once, globally, with typical relative sizes for a low-power 45 nm process
+// and are never tuned per experiment (see DESIGN.md section 5).
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/gate.h"
+
+namespace mfm::netlist {
+
+/// Timing/area/power characterization of one cell type.
+struct CellSpec {
+  double delay_ps = 0.0;        ///< pin-to-output propagation delay
+  double area_nand2 = 0.0;      ///< cell area in NAND2 equivalents
+  double input_cap_ff = 0.0;    ///< capacitance of one input pin [fF]
+  double internal_energy_fj = 0.0;  ///< internal energy per output toggle [fJ]
+};
+
+/// An abstract characterized standard-cell library.
+///
+/// Delay model: fixed per-cell propagation delay (no slew/load dependence;
+/// adequate for the relative comparisons we reproduce).  Power model:
+/// each output toggle dissipates the driver's internal energy plus the
+/// energy to swing the net capacitance (sum of fan-in pin caps of the
+/// loads) across the supply:  E = E_int + 1/2 * C_load * Vdd^2.
+class TechLib {
+ public:
+  /// Returns the library used throughout the project: an abstract 45 nm
+  /// low-power library anchored at FO4 = 64 ps, NAND2 = 1.06 um^2.
+  static const TechLib& lp45();
+
+  const CellSpec& cell(GateKind k) const {
+    return cells_[static_cast<std::size_t>(k)];
+  }
+
+  double delay_ps(GateKind k) const { return cell(k).delay_ps; }
+  double area_nand2(GateKind k) const { return cell(k).area_nand2; }
+
+  /// Area of one NAND2 gate [um^2] (paper: 1.06 um^2).
+  double nand2_area_um2() const { return nand2_area_um2_; }
+
+  /// Delay of one fan-out-of-4 inverter [ps] (paper: 64 ps).
+  double fo4_ps() const { return fo4_ps_; }
+
+  /// Supply voltage [V].
+  double vdd() const { return vdd_; }
+
+  /// DFF clock-to-Q delay [ps].
+  double clk_to_q_ps() const { return clk_to_q_ps_; }
+
+  /// DFF setup time [ps].
+  double setup_ps() const { return setup_ps_; }
+
+  /// Leakage power per NAND2-equivalent of area [nW].
+  double leakage_nw_per_nand2() const { return leakage_nw_per_nand2_; }
+
+  /// Internal clock energy of one flop per clock cycle [fJ] -- dissipated
+  /// by the master/slave clock nodes regardless of data activity.
+  double dff_clock_internal_fj() const { return dff_clock_internal_fj_; }
+
+  /// Energy to toggle a net: internal energy of the driving cell plus
+  /// 1/2 * C * Vdd^2 for @p load_cap_ff of wire+pin load.  [fJ]
+  double toggle_energy_fj(GateKind driver, double load_cap_ff) const {
+    return cell(driver).internal_energy_fj +
+           0.5 * load_cap_ff * vdd_ * vdd_ * 1.0;  // fF * V^2 -> fJ
+  }
+
+ private:
+  TechLib();
+
+  CellSpec cells_[kGateKindCount];
+  double nand2_area_um2_ = 1.06;
+  double fo4_ps_ = 64.0;
+  double vdd_ = 1.1;
+  double clk_to_q_ps_ = 90.0;
+  double setup_ps_ = 45.0;
+  double leakage_nw_per_nand2_ = 1.2;
+  double dff_clock_internal_fj_ = 2.5;
+};
+
+}  // namespace mfm::netlist

@@ -1,0 +1,113 @@
+#include "netlist/timing.h"
+
+#include <algorithm>
+
+namespace mfm::netlist {
+
+namespace {
+
+std::string truncate_module(const std::string& path, int depth) {
+  std::size_t pos = 0;
+  for (int i = 0; i < depth; ++i) {
+    pos = path.find('/', pos);
+    if (pos == std::string::npos) return path;
+    ++pos;
+  }
+  return path.substr(0, pos == 0 ? path.size() : pos - 1);
+}
+
+}  // namespace
+
+Sta::Sta(const Circuit& c, const TechLib& lib)
+    : c_(c), lib_(lib), arrival_(c.size(), 0.0) {
+  const auto& gates = c.gates();
+  for (NetId i = 0; i < gates.size(); ++i) {
+    const Gate& g = gates[i];
+    switch (g.kind) {
+      case GateKind::Const0:
+      case GateKind::Const1:
+      case GateKind::Input:
+        arrival_[i] = 0.0;
+        break;
+      case GateKind::Dff:
+        arrival_[i] = lib.clk_to_q_ps();
+        break;
+      default: {
+        double t = 0.0;
+        const int nin = fanin_count(g.kind);
+        for (int p = 0; p < nin; ++p)
+          t = std::max(t, arrival_[g.in[p]]);
+        arrival_[i] = t + lib.delay_ps(g.kind);
+        break;
+      }
+    }
+  }
+
+  // Endpoints: primary outputs ...
+  for (const auto& [name, bus] : c.out_ports()) {
+    (void)name;
+    for (NetId n : bus) {
+      if (arrival_[n] > max_delay_ps_) {
+        max_delay_ps_ = arrival_[n];
+        worst_endpoint_ = n;
+      }
+    }
+  }
+  // ... and DFF D pins (+ setup).
+  for (NetId f : c.flops()) {
+    const NetId d = c.gate(f).in[0];
+    const double t = arrival_[d] + lib.setup_ps();
+    if (t > max_delay_ps_) {
+      max_delay_ps_ = t;
+      worst_endpoint_ = d;
+    }
+  }
+}
+
+CriticalPath Sta::critical_path(int module_depth) const {
+  CriticalPath cp;
+  cp.delay_ps = max_delay_ps_;
+  if (worst_endpoint_ == kNoNet) return cp;
+
+  // Walk back along worst-arrival fan-ins.
+  std::vector<NetId> rev;
+  NetId n = worst_endpoint_;
+  for (;;) {
+    rev.push_back(n);
+    const Gate& g = c_.gate(n);
+    const int nin = fanin_count(g.kind);
+    if (nin == 0 || g.kind == GateKind::Dff) break;
+    NetId best = g.in[0];
+    for (int p = 1; p < nin; ++p)
+      if (arrival_[g.in[p]] > arrival_[best]) best = g.in[p];
+    n = best;
+  }
+  cp.nets.assign(rev.rbegin(), rev.rend());
+
+  // Group consecutive gates by truncated module label.
+  for (NetId net : cp.nets) {
+    const Gate& g = c_.gate(net);
+    const double d =
+        (g.kind == GateKind::Dff) ? lib_.clk_to_q_ps() : lib_.delay_ps(g.kind);
+    if (d == 0.0 && fanin_count(g.kind) == 0) continue;
+    const std::string label =
+        truncate_module(c_.module_path(g.module), module_depth);
+    if (cp.segments.empty() || cp.segments.back().module != label)
+      cp.segments.push_back(PathSegment{label, 0.0, 0});
+    cp.segments.back().delay_ps += d;
+    cp.segments.back().gates += 1;
+  }
+  return cp;
+}
+
+double Sta::module_settle_ps(const std::string& prefix) const {
+  double worst = 0.0;
+  for (NetId i = 0; i < c_.size(); ++i) {
+    const std::string& path = c_.module_path(c_.gate(i).module);
+    if (path.compare(0, prefix.size(), prefix) == 0)
+      worst = std::max(worst, arrival_[i]);
+  }
+  return worst;
+}
+
+}  // namespace mfm::netlist

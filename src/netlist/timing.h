@@ -1,0 +1,65 @@
+// Static timing analysis over a Circuit.
+//
+// Fixed per-cell delays (TechLib), topological longest-path computation.
+// Sources are primary inputs (t = 0) and DFF outputs (t = clk-to-q);
+// endpoints are primary outputs and DFF D pins (+ setup).  For a pipelined
+// circuit the maximum endpoint arrival therefore equals the minimum clock
+// period.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "netlist/techlib.h"
+
+namespace mfm::netlist {
+
+/// One section of a critical path, grouped by module label.
+struct PathSegment {
+  std::string module;  ///< module path (truncated to report depth)
+  double delay_ps = 0.0;
+  int gates = 0;
+};
+
+/// Result of tracing the worst path.
+struct CriticalPath {
+  double delay_ps = 0.0;               ///< endpoint arrival incl. setup
+  std::vector<NetId> nets;             ///< source..endpoint net sequence
+  std::vector<PathSegment> segments;   ///< per-module breakdown, in order
+};
+
+/// Static timing analyzer.
+class Sta {
+ public:
+  Sta(const Circuit& c, const TechLib& lib);
+
+  /// Arrival time of a net [ps].
+  double arrival(NetId n) const { return arrival_[n]; }
+
+  /// Worst endpoint arrival over primary outputs and DFF D pins (+setup).
+  /// Equals the minimum clock period for sequential circuits and the
+  /// input-to-output latency for combinational ones.
+  double max_delay_ps() const { return max_delay_ps_; }
+
+  /// max_delay_ps() expressed in FO4 units of the library.
+  double max_delay_fo4() const { return max_delay_ps_ / lib_.fo4_ps(); }
+
+  /// Traces the critical path and groups it into per-module segments;
+  /// @p module_depth limits the module path to its first N components
+  /// (e.g. depth 2 turns "top/ppgen/row3" into "top/ppgen").
+  CriticalPath critical_path(int module_depth = 2) const;
+
+  /// Arrival of the worst net belonging to module @p prefix (by path
+  /// prefix match) -- useful to report when a block's outputs settle.
+  double module_settle_ps(const std::string& prefix) const;
+
+ private:
+  const Circuit& c_;
+  const TechLib& lib_;
+  std::vector<double> arrival_;
+  double max_delay_ps_ = 0.0;
+  NetId worst_endpoint_ = kNoNet;   // net feeding worst endpoint
+};
+
+}  // namespace mfm::netlist

@@ -1,0 +1,96 @@
+#include "netlist/vcd.h"
+
+#include <stdexcept>
+
+namespace mfm::netlist {
+
+namespace {
+
+// VCD identifiers: printable ASCII 33..126, shortest-first.
+std::string vcd_id(std::size_t index) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>(33 + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+}  // namespace
+
+VcdWriter::VcdWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("VcdWriter: cannot open " + path);
+}
+
+VcdWriter::~VcdWriter() { close(); }
+
+void VcdWriter::add_net(const std::string& name, NetId net) {
+  add_bus(name, Bus{net});
+}
+
+void VcdWriter::add_bus(const std::string& name, const Bus& bus) {
+  if (header_written_)
+    throw std::logic_error("VcdWriter: add signals before sampling");
+  Signal s;
+  s.name = name;
+  s.id = vcd_id(signals_.size());
+  s.nets = bus;
+  signals_.push_back(std::move(s));
+}
+
+void VcdWriter::write_header() {
+  out_ << "$timescale 1ns $end\n$scope module mfm $end\n";
+  for (const Signal& s : signals_)
+    out_ << "$var wire " << s.nets.size() << " " << s.id << " " << s.name
+         << (s.nets.size() > 1
+                 ? " [" + std::to_string(s.nets.size() - 1) + ":0]"
+                 : "")
+         << " $end\n";
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+  header_written_ = true;
+}
+
+template <typename Sim>
+std::string VcdWriter::value_string(const Sim& sim, const Bus& nets) {
+  std::string v;
+  v.reserve(nets.size());
+  for (std::size_t i = nets.size(); i-- > 0;)
+    v.push_back(sim.value(nets[i]) ? '1' : '0');
+  return v;
+}
+
+template <typename Sim>
+void VcdWriter::sample_impl(const Sim& sim, std::uint64_t time) {
+  if (!header_written_) write_header();
+  bool stamped = false;
+  for (Signal& s : signals_) {
+    std::string v = value_string(sim, s.nets);
+    if (v == s.last) continue;
+    if (!stamped) {
+      out_ << "#" << time << "\n";
+      stamped = true;
+    }
+    if (s.nets.size() == 1)
+      out_ << v << s.id << "\n";
+    else
+      out_ << "b" << v << " " << s.id << "\n";
+    s.last = std::move(v);
+  }
+}
+
+void VcdWriter::sample(const LevelSim& sim, std::uint64_t time) {
+  sample_impl(sim, time);
+}
+
+void VcdWriter::sample(const EventSim& sim, std::uint64_t time) {
+  sample_impl(sim, time);
+}
+
+void VcdWriter::close() {
+  if (out_.is_open()) {
+    if (!header_written_) write_header();
+    out_.close();
+  }
+}
+
+}  // namespace mfm::netlist

@@ -1,0 +1,67 @@
+// VCD (value-change-dump) waveform writer.
+//
+// Records selected nets/buses of a simulated circuit into the standard
+// IEEE 1364 VCD text format so waveforms from either simulator can be
+// inspected in GTKWave & friends.  Usage:
+//
+//   VcdWriter vcd("wave.vcd");
+//   vcd.add_bus("product", unit.p);
+//   for (...) { sim.eval(); vcd.sample(sim, t); }
+//   vcd.close();
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "netlist/sim_event.h"
+#include "netlist/sim_level.h"
+
+namespace mfm::netlist {
+
+/// Streams value changes of registered signals to a .vcd file.
+class VcdWriter {
+ public:
+  /// Opens @p path for writing; throws std::runtime_error on failure.
+  explicit VcdWriter(const std::string& path);
+  ~VcdWriter();
+
+  VcdWriter(const VcdWriter&) = delete;
+  VcdWriter& operator=(const VcdWriter&) = delete;
+
+  /// Registers a single-bit signal.  Must happen before the first sample.
+  void add_net(const std::string& name, NetId net);
+  /// Registers a bus (LSB first, dumped as a VCD vector).
+  void add_bus(const std::string& name, const Bus& bus);
+
+  /// Records the current values at timestamp @p time (monotonically
+  /// increasing; the unit is declared as 1 ns).
+  void sample(const LevelSim& sim, std::uint64_t time);
+  /// Same, reading values from the event-driven simulator.
+  void sample(const EventSim& sim, std::uint64_t time);
+
+  /// Flushes and closes the file (also done by the destructor).
+  void close();
+
+ private:
+  struct Signal {
+    std::string name;
+    std::string id;    // VCD short identifier
+    Bus nets;
+    std::string last;  // last dumped value string
+  };
+
+  void write_header();
+  template <typename Sim>
+  void sample_impl(const Sim& sim, std::uint64_t time);
+  template <typename Sim>
+  static std::string value_string(const Sim& sim, const Bus& nets);
+
+  std::ofstream out_;
+  std::vector<Signal> signals_;
+  bool header_written_ = false;
+};
+
+}  // namespace mfm::netlist

@@ -1,0 +1,27 @@
+// Structural Verilog export.
+//
+// Emits a synthesizable Verilog-2001 module from any generated Circuit:
+// one continuous assignment per combinational cell, one clocked always
+// block for the flops, ports taken from the circuit's named input/output
+// buses.  This is the bridge out of the simulated substrate -- the
+// generated MFmult (or any other unit) can be handed to a real synthesis
+// flow and compared against the paper's numbers on an actual cell library.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "netlist/circuit.h"
+
+namespace mfm::netlist {
+
+/// Writes @p c as a Verilog module named @p module_name to @p os.
+/// Sequential circuits get a `clk` input; nets are named n<N> except
+/// ports, which keep their bus names.
+void write_verilog(std::ostream& os, const Circuit& c,
+                   const std::string& module_name);
+
+/// Convenience: renders to a string.
+std::string to_verilog(const Circuit& c, const std::string& module_name);
+
+}  // namespace mfm::netlist

@@ -1,0 +1,62 @@
+#include "power/measure.h"
+
+#include <cstdlib>
+#include <random>
+
+#include "netlist/sim_event.h"
+
+namespace mfm::power {
+
+int bench_vectors(int fallback) {
+  if (const char* env = std::getenv("MFM_BENCH_VECTORS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+FormatPower measure_mf(const mf::MfUnit& unit, Workload workload,
+                       int vectors, double fmax_mhz, int ops_per_cycle) {
+  const auto& lib = netlist::TechLib::lp45();
+  netlist::EventSim sim(*unit.circuit, lib);
+  netlist::PowerModel pm(*unit.circuit, lib);
+  OperandGen gen(workload);
+
+  for (int i = 0; i < vectors; ++i) {
+    const OpPair op = gen.next();
+    sim.set_bus(unit.a, op.a);
+    sim.set_bus(unit.b, op.b);
+    sim.set_bus(unit.frmt, mf::frmt_bits(op.format));
+    sim.cycle();
+  }
+
+  FormatPower out;
+  out.at_100mhz = pm.report(sim, 100.0);
+  out.mw_100 = out.at_100mhz.total_mw();
+  out.fmax_mhz = fmax_mhz;
+  // Dynamic + clock power scale with frequency; leakage does not.
+  out.mw_fmax = (out.at_100mhz.dynamic_mw + out.at_100mhz.clock_mw) *
+                    (fmax_mhz / 100.0) +
+                out.at_100mhz.leakage_mw;
+  out.gflops = ops_per_cycle * fmax_mhz / 1000.0;
+  out.gflops_per_w =
+      out.mw_fmax > 0.0 ? out.gflops / (out.mw_fmax / 1000.0) : 0.0;
+  return out;
+}
+
+netlist::PowerReport measure_multiplier(const mult::MultiplierUnit& unit,
+                                        int vectors, double freq_mhz,
+                                        std::uint64_t seed) {
+  const auto& lib = netlist::TechLib::lp45();
+  netlist::EventSim sim(*unit.circuit, lib);
+  netlist::PowerModel pm(*unit.circuit, lib);
+  std::mt19937_64 rng(seed);
+  for (int i = 0; i < vectors; ++i) {
+    sim.set_bus(unit.x, rng());
+    sim.set_bus(unit.y, rng());
+    sim.cycle();
+  }
+  return pm.report(sim, freq_mhz);
+}
+
+}  // namespace mfm::power

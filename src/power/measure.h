@@ -1,0 +1,42 @@
+// Power measurement loops: drive a unit with a workload through the
+// event-driven simulator and report power / throughput / efficiency the
+// way the paper's tables do.
+#pragma once
+
+#include <cstdint>
+
+#include "mf/mf_unit.h"
+#include "mult/multiplier.h"
+#include "netlist/power.h"
+#include "power/workloads.h"
+
+namespace mfm::power {
+
+/// Number of Monte-Carlo vectors used by benches; overridable through the
+/// MFM_BENCH_VECTORS environment variable (default @p fallback).
+int bench_vectors(int fallback = 200);
+
+/// Table-V-style figures for one format/workload on one unit.
+struct FormatPower {
+  netlist::PowerReport at_100mhz;
+  double mw_100 = 0.0;        ///< total power at 100 MHz [mW]
+  double mw_fmax = 0.0;       ///< scaled to the unit's max frequency [mW]
+  double fmax_mhz = 0.0;
+  double gflops = 0.0;        ///< throughput at fmax (0 for int64)
+  double gflops_per_w = 0.0;  ///< power efficiency at fmax
+};
+
+/// Runs @p vectors operand pairs of @p workload through a multi-format
+/// unit (one issue per cycle) and reports power at 100 MHz plus
+/// fmax-scaled efficiency.  @p ops_per_cycle: 1 (int64/fp64/fp32 single)
+/// or 2 (fp32 dual).
+FormatPower measure_mf(const mf::MfUnit& unit, Workload workload,
+                       int vectors, double fmax_mhz, int ops_per_cycle);
+
+/// Runs uniform random vectors through a plain n x n multiplier and
+/// returns its power report at @p freq_mhz (Table III measurements).
+netlist::PowerReport measure_multiplier(const mult::MultiplierUnit& unit,
+                                        int vectors, double freq_mhz,
+                                        std::uint64_t seed = 0x5EED);
+
+}  // namespace mfm::power

@@ -1,0 +1,103 @@
+#include "power/workloads.h"
+
+namespace mfm::power {
+
+std::string workload_name(Workload w) {
+  switch (w) {
+    case Workload::Uniform64:        return "uniform-int64";
+    case Workload::Fp64Random:       return "fp64-random";
+    case Workload::Fp32DualRandom:   return "fp32-dual-random";
+    case Workload::Fp32SingleRandom: return "fp32-single-random";
+    case Workload::Fp64SmallInt:     return "fp64-small-int";
+    case Workload::Fp64SmallFrac:    return "fp64-small-frac";
+    case Workload::Fp64Mixed:        return "fp64-mixed";
+  }
+  return "?";
+}
+
+OperandGen::OperandGen(Workload w, std::uint64_t seed) : w_(w), rng_(seed) {}
+
+std::uint64_t OperandGen::random_fp64(int e_lo, int e_hi) {
+  const std::uint64_t frac = rng_() & ((1ull << 52) - 1);
+  const std::uint64_t exp =
+      static_cast<std::uint64_t>(e_lo) + rng_() % (e_hi - e_lo + 1);
+  const std::uint64_t sign = rng_() & 1;
+  return (sign << 63) | (exp << 52) | frac;
+}
+
+std::uint32_t OperandGen::random_fp32(int e_lo, int e_hi) {
+  const std::uint32_t frac = static_cast<std::uint32_t>(rng_()) & 0x7FFFFF;
+  const std::uint32_t exp = static_cast<std::uint32_t>(
+      e_lo + static_cast<int>(rng_() % (e_hi - e_lo + 1)));
+  const std::uint32_t sign = static_cast<std::uint32_t>(rng_() & 1);
+  return (sign << 31) | (exp << 23) | frac;
+}
+
+OpPair OperandGen::next() {
+  OpPair p;
+  switch (w_) {
+    case Workload::Uniform64:
+      p.a = rng_();
+      p.b = rng_();
+      p.format = mf::Format::Int64;
+      break;
+    case Workload::Fp64Random:
+      // Exponents kept away from the wrap region so products stay in the
+      // unit's supported (normal) range.
+      p.a = random_fp64(512, 1535);
+      p.b = random_fp64(512, 1535);
+      p.format = mf::Format::Fp64;
+      break;
+    case Workload::Fp32DualRandom: {
+      auto word = [this] {
+        return (static_cast<std::uint64_t>(random_fp32(64, 191)) << 32) |
+               random_fp32(64, 191);
+      };
+      p.a = word();
+      p.b = word();
+      p.format = mf::Format::Fp32Dual;
+      break;
+    }
+    case Workload::Fp32SingleRandom:
+      p.a = random_fp32(64, 191);
+      p.b = random_fp32(64, 191);
+      p.format = mf::Format::Fp32Dual;
+      break;
+    case Workload::Fp64SmallInt: {
+      // Small integer values: exactly representable in binary32.
+      const double va = static_cast<double>(rng_() % 4096) *
+                        ((rng_() & 1) ? 1.0 : -1.0);
+      const double vb = static_cast<double>(rng_() % 4096) *
+                        ((rng_() & 1) ? 1.0 : -1.0);
+      p.a = std::bit_cast<std::uint64_t>(va == 0.0 ? 1.0 : va);
+      p.b = std::bit_cast<std::uint64_t>(vb == 0.0 ? 1.0 : vb);
+      p.format = mf::Format::Fp64;
+      break;
+    }
+    case Workload::Fp64SmallFrac: {
+      // Dyadic fractions k / 2^12 with k < 2^12: 24-bit significands.
+      auto frac = [this] {
+        const double v = static_cast<double>(1 + rng_() % 4095) / 4096.0;
+        return std::bit_cast<std::uint64_t>((rng_() & 1) ? -v : v);
+      };
+      p.a = frac();
+      p.b = frac();
+      p.format = mf::Format::Fp64;
+      break;
+    }
+    case Workload::Fp64Mixed:
+      if (rng_() & 1) {
+        const double v = static_cast<double>(rng_() % 4096) + 1.0;
+        p.a = std::bit_cast<std::uint64_t>(v);
+        p.b = std::bit_cast<std::uint64_t>(v * 0.5);
+      } else {
+        p.a = random_fp64(512, 1535);
+        p.b = random_fp64(512, 1535);
+      }
+      p.format = mf::Format::Fp64;
+      break;
+  }
+  return p;
+}
+
+}  // namespace mfm::power

@@ -1,0 +1,59 @@
+// Monte-Carlo operand generators for the power experiments.
+//
+// The paper estimates power "by generating pseudo-random input patterns"
+// (Sec. III-E).  Each generator is deterministic under its seed so every
+// bench/test run is reproducible.  Beyond uniform patterns, Sec. IV's
+// motivation ("multiplication of small integers or small fractions") is
+// modelled by generators whose binary64 values are frequently eligible for
+// the error-free binary64->binary32 reduction.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include "mf/mf_model.h"
+
+namespace mfm::power {
+
+/// One operand pair plus the format it should be issued under.
+struct OpPair {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  mf::Format format = mf::Format::Int64;
+};
+
+/// Workload families used by the benches.
+enum class Workload {
+  Uniform64,        ///< uniform random 64-bit integers (int64 mode)
+  Fp64Random,       ///< random normal binary64, wide exponent range
+  Fp32DualRandom,   ///< two random normal binary32 per operand word
+  Fp32SingleRandom, ///< one random binary32, upper lane zeroed
+  Fp64SmallInt,     ///< binary64 values that are small integers (Sec. IV)
+  Fp64SmallFrac,    ///< binary64 small dyadic fractions (Sec. IV)
+  Fp64Mixed,        ///< 50% reducible / 50% full-precision binary64
+};
+
+std::string workload_name(Workload w);
+
+/// Deterministic generator of operand pairs for a workload.
+class OperandGen {
+ public:
+  explicit OperandGen(Workload w, std::uint64_t seed = 0x5EED);
+
+  /// Next operand pair.
+  OpPair next();
+
+  /// Builds a normal binary64 with exponent uniform in [e_lo, e_hi]
+  /// (biased) and random fraction -- helper exposed for tests.
+  std::uint64_t random_fp64(int e_lo, int e_hi);
+  /// Same for binary32.
+  std::uint32_t random_fp32(int e_lo, int e_hi);
+
+ private:
+  Workload w_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace mfm::power

@@ -1,0 +1,165 @@
+#include "rtl/adders.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "rtl/csa.h"
+
+namespace mfm::rtl {
+
+AdderOut ripple_adder(Circuit& c, const Bus& a, const Bus& b, NetId carry_in) {
+  assert(a.size() == b.size());
+  AdderOut out;
+  out.sum.resize(a.size());
+  NetId carry = carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.sum[i] = c.xor3(a[i], b[i], carry);
+    carry = c.maj3(a[i], b[i], carry);
+  }
+  out.carry_out = carry;
+  return out;
+}
+
+namespace {
+
+struct Gp {
+  NetId g;
+  NetId p;
+};
+
+// (G,P) combine: result covers hi's range followed by lo's range.
+Gp combine(Circuit& c, const Gp& hi, const Gp& lo) {
+  return Gp{c.ao21(hi.p, lo.g, hi.g), c.and2(hi.p, lo.p)};
+}
+
+}  // namespace
+
+AdderOut prefix_adder(Circuit& c, const Bus& a, const Bus& b, NetId carry_in,
+                      PrefixKind kind) {
+  assert(a.size() == b.size());
+  const int n = static_cast<int>(a.size());
+  AdderOut out;
+  out.sum.resize(a.size());
+  if (n == 0) {
+    out.carry_out = carry_in;
+    return out;
+  }
+
+  // Bit-level generate/propagate.
+  std::vector<Gp> pre(n);
+  for (int i = 0; i < n; ++i)
+    pre[i] = Gp{c.and2(a[i], b[i]), c.xor2(a[i], b[i])};
+
+  // Prefix network: node i ends holding (G,P) of bits i..0.
+  std::vector<Gp> gp = pre;
+  switch (kind) {
+    case PrefixKind::KoggeStone: {
+      for (int d = 1; d < n; d <<= 1) {
+        std::vector<Gp> nxt = gp;
+        for (int i = d; i < n; ++i) nxt[i] = combine(c, gp[i], gp[i - d]);
+        gp = std::move(nxt);
+      }
+      break;
+    }
+    case PrefixKind::Sklansky: {
+      for (int d = 1; d < n; d <<= 1) {
+        std::vector<Gp> nxt = gp;
+        for (int i = 0; i < n; ++i)
+          if (i & d) nxt[i] = combine(c, gp[i], gp[(i & ~(d - 1)) - 1]);
+        gp = std::move(nxt);
+      }
+      break;
+    }
+    case PrefixKind::HanCarlson: {
+      // Level 1: odd nodes absorb their even left neighbour.
+      for (int i = 1; i < n; i += 2) gp[i] = combine(c, gp[i], gp[i - 1]);
+      // Kogge-Stone among the odd nodes (stride doubling).
+      for (int d = 2; d < n; d <<= 1) {
+        std::vector<Gp> nxt = gp;
+        for (int i = 1; i < n; i += 2)
+          if (i - d >= 1) nxt[i] = combine(c, gp[i], gp[i - d]);
+        gp = std::move(nxt);
+      }
+      // Final level: even nodes pick up the prefix below them.
+      for (int i = 2; i < n; i += 2) gp[i] = combine(c, pre[i], gp[i - 1]);
+      break;
+    }
+    case PrefixKind::BrentKung: {
+      // Up-sweep.
+      for (int d = 1; d < n; d <<= 1) {
+        for (int i = 2 * d - 1; i < n; i += 2 * d)
+          gp[i] = combine(c, gp[i], gp[i - d]);
+      }
+      // Down-sweep.
+      int dmax = 1;
+      while (2 * dmax < n) dmax <<= 1;
+      for (int d = dmax / 2; d >= 1; d >>= 1) {
+        for (int i = 3 * d - 1; i < n; i += 2 * d)
+          gp[i] = combine(c, gp[i], gp[i - d]);
+      }
+      break;
+    }
+  }
+
+  // Carries: carry into bit i is G[i-1..0] folded with carry_in.
+  // carry(i) = G[i-1] | (P[i-1] & cin).
+  out.sum[0] = c.xor2(pre[0].p, carry_in);
+  for (int i = 1; i < n; ++i) {
+    const NetId carry = c.ao21(gp[i - 1].p, carry_in, gp[i - 1].g);
+    out.sum[i] = c.xor2(pre[i].p, carry);
+  }
+  out.carry_out = c.ao21(gp[n - 1].p, carry_in, gp[n - 1].g);
+  return out;
+}
+
+AdderOut carry_select_adder(Circuit& c, const Bus& a, const Bus& b,
+                            NetId carry_in, int block_width) {
+  assert(a.size() == b.size());
+  assert(block_width >= 1);
+  const int n = static_cast<int>(a.size());
+  AdderOut out;
+  out.sum.resize(a.size());
+  NetId carry = carry_in;
+  for (int lo = 0; lo < n; lo += block_width) {
+    const int w = std::min(block_width, n - lo);
+    const Bus ab = netlist::slice(a, lo, w);
+    const Bus bb = netlist::slice(b, lo, w);
+    if (lo == 0) {
+      // First block sees the true carry-in directly.
+      const AdderOut blk = ripple_adder(c, ab, bb, carry);
+      for (int i = 0; i < w; ++i) out.sum[static_cast<std::size_t>(i)] = blk.sum[static_cast<std::size_t>(i)];
+      carry = blk.carry_out;
+      continue;
+    }
+    const AdderOut blk0 = ripple_adder(c, ab, bb, c.const0());
+    const AdderOut blk1 = ripple_adder(c, ab, bb, c.const1());
+    for (int i = 0; i < w; ++i)
+      out.sum[static_cast<std::size_t>(lo + i)] =
+          c.mux2(blk0.sum[static_cast<std::size_t>(i)],
+                 blk1.sum[static_cast<std::size_t>(i)], carry);
+    carry = c.mux2(blk0.carry_out, blk1.carry_out, carry);
+  }
+  out.carry_out = carry;
+  return out;
+}
+
+AdderOut incrementer(Circuit& c, const Bus& a, NetId carry_in) {
+  AdderOut out;
+  out.sum.resize(a.size());
+  NetId carry = carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.sum[i] = c.xor2(a[i], carry);
+    carry = c.and2(a[i], carry);
+  }
+  out.carry_out = carry;
+  return out;
+}
+
+AdderOut add_constant(Circuit& c, const Bus& a, mfm::u128 constant,
+                      PrefixKind kind) {
+  const Bus k = netlist::constant_bus(c, constant,
+                                      static_cast<int>(a.size()));
+  return prefix_adder(c, a, k, c.const0(), kind);
+}
+
+}  // namespace mfm::rtl

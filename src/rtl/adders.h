@@ -1,0 +1,71 @@
+// Parametric carry-propagate adder generators.
+//
+// The multipliers use two adder families, reflecting the trade-off the
+// paper leans on:
+//  * Kogge-Stone -- the fast, area-hungry parallel prefix network used for
+//    the final carry-propagate addition and the speculative rounding CPAs;
+//  * Brent-Kung  -- the area-lean prefix network used for the odd-multiple
+//    pre-computation adders (3X, 5X, 7X), which sit in their own pipeline
+//    stage and so do not need to be fast (paper, Sec. II-A);
+// plus ripple-carry and Sklansky generators for tests and ablations.
+#pragma once
+
+#include "netlist/bus.h"
+#include "netlist/circuit.h"
+
+namespace mfm::rtl {
+
+using netlist::Bus;
+using netlist::Circuit;
+using netlist::NetId;
+
+/// Sum plus carry-out of an n-bit addition.
+struct AdderOut {
+  Bus sum;          ///< n bits
+  NetId carry_out;  ///< carry out of the most-significant bit
+};
+
+/// Prefix-network topology for prefix_adder().
+enum class PrefixKind {
+  KoggeStone,  ///< log n levels, n log n nodes: fastest, largest
+  Sklansky,    ///< log n levels, high fan-out mid nodes
+  BrentKung,   ///< 2 log n - 1 levels, ~2n nodes: small, slower
+  HanCarlson,  ///< log n + 1 levels, ~n/2 log n nodes: the KS/BK middle
+};
+
+/// Ripple-carry adder (full-adder chain).  a and b must be equal width.
+AdderOut ripple_adder(Circuit& c, const Bus& a, const Bus& b,
+                      NetId carry_in);
+
+/// Parallel-prefix adder of the selected topology.
+AdderOut prefix_adder(Circuit& c, const Bus& a, const Bus& b, NetId carry_in,
+                      PrefixKind kind);
+
+/// Kogge-Stone adder (shorthand).
+inline AdderOut kogge_stone_adder(Circuit& c, const Bus& a, const Bus& b,
+                                  NetId carry_in) {
+  return prefix_adder(c, a, b, carry_in, PrefixKind::KoggeStone);
+}
+
+/// Brent-Kung adder (shorthand).
+inline AdderOut brent_kung_adder(Circuit& c, const Bus& a, const Bus& b,
+                                 NetId carry_in) {
+  return prefix_adder(c, a, b, carry_in, PrefixKind::BrentKung);
+}
+
+/// Carry-select adder: uniform blocks of @p block_width bits compute both
+/// carry hypotheses with ripple adders; block muxes select on the rippled
+/// block carry.  The classic area/delay midpoint between ripple and
+/// prefix adders.
+AdderOut carry_select_adder(Circuit& c, const Bus& a, const Bus& b,
+                            NetId carry_in, int block_width = 8);
+
+/// Incrementer: a + carry_in (carry_in typically a control net).
+AdderOut incrementer(Circuit& c, const Bus& a, NetId carry_in);
+
+/// a + constant (builds an adder against a constant bus; the constant
+/// folds into half adders).
+AdderOut add_constant(Circuit& c, const Bus& a, mfm::u128 constant,
+                      PrefixKind kind = PrefixKind::BrentKung);
+
+}  // namespace mfm::rtl

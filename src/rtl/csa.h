@@ -1,0 +1,43 @@
+// Carry-save primitives: full adder, half adder, 4:2 compressor.
+#pragma once
+
+#include "netlist/circuit.h"
+
+namespace mfm::rtl {
+
+using netlist::Circuit;
+using netlist::NetId;
+
+/// sum/carry pair produced by a counter cell.
+struct SumCarry {
+  NetId sum;
+  NetId carry;
+};
+
+/// 3:2 counter (full adder): a+b+cin = sum + 2*carry.
+inline SumCarry full_adder(Circuit& c, NetId a, NetId b, NetId cin) {
+  return SumCarry{c.xor3(a, b, cin), c.maj3(a, b, cin)};
+}
+
+/// 2:2 counter (half adder): a+b = sum + 2*carry.
+inline SumCarry half_adder(Circuit& c, NetId a, NetId b) {
+  return SumCarry{c.xor2(a, b), c.and2(a, b)};
+}
+
+/// Output of a 4:2 compressor.
+struct Compress42 {
+  NetId sum;    ///< weight 1
+  NetId carry;  ///< weight 2 (to next column)
+  NetId cout;   ///< weight 2 (to next column), independent of cin
+};
+
+/// 4:2 compressor: a+b+d+e+cin = sum + 2*(carry+cout).
+/// Built as two chained full adders; cout depends only on a, b, d.
+inline Compress42 compress_4to2(Circuit& c, NetId a, NetId b, NetId d,
+                                NetId e, NetId cin) {
+  const SumCarry fa1 = full_adder(c, a, b, d);
+  const SumCarry fa2 = full_adder(c, fa1.sum, e, cin);
+  return Compress42{fa2.sum, fa2.carry, fa1.carry};
+}
+
+}  // namespace mfm::rtl

@@ -1,0 +1,113 @@
+#include "rtl/mux.h"
+
+#include <cassert>
+#include <functional>
+
+namespace mfm::rtl {
+
+std::vector<NetId> decoder(Circuit& c, const Bus& sel, NetId enable) {
+  const int n = static_cast<int>(sel.size());
+  const int outs = 1 << n;
+  // Complemented selects, computed once.
+  Bus nsel(sel.size());
+  for (int i = 0; i < n; ++i) nsel[i] = c.not_(sel[i]);
+  std::vector<NetId> out(static_cast<std::size_t>(outs));
+  for (int k = 0; k < outs; ++k) {
+    std::vector<NetId> terms;
+    terms.reserve(static_cast<std::size_t>(n) + 1);
+    for (int i = 0; i < n; ++i)
+      terms.push_back(((k >> i) & 1) ? sel[i] : nsel[i]);
+    terms.push_back(enable);
+    out[k] = and_tree(c, terms);
+  }
+  return out;
+}
+
+NetId mux_onehot(Circuit& c, std::span<const NetId> data,
+                 std::span<const NetId> onehot) {
+  assert(data.size() == onehot.size());
+  // Pairs via AO22 compound cells -- (d0&s0)|(d1&s1) -- then an OR tree,
+  // the structure of a standard-cell AOI mux.
+  std::vector<NetId> terms;
+  std::size_t i = 0;
+  while (i + 2 <= data.size()) {
+    terms.push_back(c.ao22(data[i], onehot[i], data[i + 1], onehot[i + 1]));
+    i += 2;
+  }
+  if (i < data.size()) terms.push_back(c.and2(data[i], onehot[i]));
+  return or_tree(c, terms);
+}
+
+Bus mux_onehot_bus(Circuit& c, std::span<const Bus> data,
+                   std::span<const NetId> onehot) {
+  assert(!data.empty());
+  const std::size_t width = data[0].size();
+  Bus out(width);
+  std::vector<NetId> lane(data.size());
+  for (std::size_t bit = 0; bit < width; ++bit) {
+    for (std::size_t k = 0; k < data.size(); ++k) {
+      assert(data[k].size() == width);
+      lane[k] = data[k][bit];
+    }
+    out[bit] = mux_onehot(c, lane, onehot);
+  }
+  return out;
+}
+
+namespace {
+
+NetId balanced_tree(std::span<const NetId> in,
+                    NetId identity,
+                    const std::function<NetId(NetId, NetId)>& op2,
+                    const std::function<NetId(NetId, NetId, NetId)>& op3) {
+  if (in.empty()) return identity;
+  std::vector<NetId> level(in.begin(), in.end());
+  while (level.size() > 1) {
+    std::vector<NetId> next;
+    std::size_t i = 0;
+    // Prefer 3-input cells; mop up pairs/singletons.
+    while (level.size() - i >= 3 && (level.size() - i) != 4) {
+      next.push_back(op3(level[i], level[i + 1], level[i + 2]));
+      i += 3;
+    }
+    while (level.size() - i >= 2) {
+      next.push_back(op2(level[i], level[i + 1]));
+      i += 2;
+    }
+    if (i < level.size()) next.push_back(level[i]);
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+}  // namespace
+
+NetId or_tree(Circuit& c, std::span<const NetId> in) {
+  return balanced_tree(
+      in, c.const0(),
+      [&c](NetId a, NetId b) { return c.or2(a, b); },
+      [&c](NetId a, NetId b, NetId d) { return c.or3(a, b, d); });
+}
+
+NetId and_tree(Circuit& c, std::span<const NetId> in) {
+  return balanced_tree(
+      in, c.const1(),
+      [&c](NetId a, NetId b) { return c.and2(a, b); },
+      [&c](NetId a, NetId b, NetId d) { return c.and3(a, b, d); });
+}
+
+NetId xor_tree(Circuit& c, std::span<const NetId> in) {
+  return balanced_tree(
+      in, c.const0(),
+      [&c](NetId a, NetId b) { return c.xor2(a, b); },
+      [&c](NetId a, NetId b, NetId d) { return c.xor3(a, b, d); });
+}
+
+NetId equals_constant(Circuit& c, const Bus& a, mfm::u128 value) {
+  std::vector<NetId> terms(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    terms[i] = bit_of(value, static_cast<int>(i)) ? a[i] : c.not_(a[i]);
+  return and_tree(c, terms);
+}
+
+}  // namespace mfm::rtl

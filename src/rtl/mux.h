@@ -1,0 +1,44 @@
+// Multiplexers, decoders and reduction trees.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/bus.h"
+#include "netlist/circuit.h"
+
+namespace mfm::rtl {
+
+using netlist::Bus;
+using netlist::Circuit;
+using netlist::NetId;
+
+/// n-to-2^n one-hot decoder (LSB-first select bus), optionally gated by
+/// @p enable: every output is 0 when enable is low.
+std::vector<NetId> decoder(Circuit& c, const Bus& sel, NetId enable);
+
+/// One-hot mux: OR over (data[k] & onehot[k]).  Built from AO21 chains, the
+/// structure of a standard-cell AOI mux (paper Fig. 1 uses an 8:1 mux per
+/// partial-product bit; the one-hot select is shared per row so the per-bit
+/// cost is ~4 AO21 + OR, matching library 8:1 cells).
+NetId mux_onehot(Circuit& c, std::span<const NetId> data,
+                 std::span<const NetId> onehot);
+
+/// Bus version of mux_onehot: all inputs must have equal width.
+Bus mux_onehot_bus(Circuit& c, std::span<const Bus> data,
+                   std::span<const NetId> onehot);
+
+/// Balanced OR tree over arbitrary inputs (returns const0 for none).
+NetId or_tree(Circuit& c, std::span<const NetId> in);
+
+/// Balanced AND tree.
+NetId and_tree(Circuit& c, std::span<const NetId> in);
+
+/// Balanced XOR tree.
+NetId xor_tree(Circuit& c, std::span<const NetId> in);
+
+/// Equality of a bus with a compile-time constant: AND over per-bit
+/// match terms.
+NetId equals_constant(Circuit& c, const Bus& a, mfm::u128 value);
+
+}  // namespace mfm::rtl

@@ -1,0 +1,159 @@
+#include "rtl/pptree.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "rtl/csa.h"
+
+namespace mfm::rtl {
+
+int BitMatrix::max_height() const {
+  int h = 0;
+  for (const auto& col : cols_) h = std::max(h, static_cast<int>(col.size()));
+  return h;
+}
+
+Redundant reduce_to_two(Circuit& c, const BitMatrix& m,
+                        std::optional<LaneBarrier> barrier,
+                        TreeStyle style) {
+  const int width = m.width();
+  std::vector<std::deque<NetId>> cols(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i)
+    cols[i].assign(m.column(i).begin(), m.column(i).end());
+
+  auto emit_carry = [&](std::vector<std::deque<NetId>>& dst, int from_col,
+                        NetId carry) {
+    const int to = from_col + 1;
+    if (to >= width) return;  // modular drop
+    if (barrier && to == barrier->boundary)
+      carry = c.andnot2(carry, barrier->kill);
+    dst[static_cast<std::size_t>(to)].push_back(carry);
+  };
+
+  Redundant out;
+
+  if (style == TreeStyle::Dadda) {
+    // Dadda height schedule, descending: ..., 13, 9, 6, 4, 3, 2 -- reduce
+    // each column only as far as the stage target requires.
+    std::vector<int> targets;
+    for (int d = 2; d < m.max_height(); d = d * 3 / 2) targets.push_back(d);
+    if (targets.empty()) targets.push_back(2);
+    std::reverse(targets.begin(), targets.end());
+    for (int d : targets) {
+      bool any = false;
+      for (int col = 0; col < width; ++col) {
+        auto& q = cols[static_cast<std::size_t>(col)];
+        while (static_cast<int>(q.size()) > d) {
+          any = true;
+          if (static_cast<int>(q.size()) == d + 1) {
+            const NetId a = q.front();
+            q.pop_front();
+            const NetId b = q.front();
+            q.pop_front();
+            const SumCarry ha = half_adder(c, a, b);
+            q.push_back(ha.sum);
+            emit_carry(cols, col, ha.carry);
+          } else {
+            const NetId a = q.front();
+            q.pop_front();
+            const NetId b = q.front();
+            q.pop_front();
+            const NetId e = q.front();
+            q.pop_front();
+            const SumCarry fa = full_adder(c, a, b, e);
+            q.push_back(fa.sum);
+            emit_carry(cols, col, fa.carry);
+          }
+        }
+      }
+      if (any) ++out.stages;
+    }
+  } else {
+    // Wallace / 4:2 styles: level-synchronized passes over a snapshot of
+    // each level's bits; results land in the next level.
+    while (m.max_height() > 0) {
+      int h = 0;
+      for (int i = 0; i < width; ++i)
+        h = std::max(h, static_cast<int>(cols[static_cast<std::size_t>(i)].size()));
+      if (h <= 2) break;
+      ++out.stages;
+      std::vector<std::deque<NetId>> next(static_cast<std::size_t>(width));
+      // 4:2 rows: the cout of column c's k-th compressor feeds the cin of
+      // column c+1's k-th compressor within the same pass (the horizontal
+      // chain that makes 4:2 rows carry-free level to level).
+      std::deque<NetId> chain_in;
+      for (int col = 0; col < width; ++col) {
+        auto& q = cols[static_cast<std::size_t>(col)];
+        auto& nq = next[static_cast<std::size_t>(col)];
+        if (style == TreeStyle::Compressor42) {
+          std::deque<NetId> chain_out;
+          // The lane barrier also cuts the horizontal 4:2 chain.
+          if (barrier && col == barrier->boundary)
+            for (auto& n : chain_in) n = c.andnot2(n, barrier->kill);
+          while (q.size() >= 4) {
+            const NetId a = q.front(); q.pop_front();
+            const NetId b = q.front(); q.pop_front();
+            const NetId d = q.front(); q.pop_front();
+            const NetId e = q.front(); q.pop_front();
+            NetId cin = c.const0();
+            if (!chain_in.empty()) {
+              cin = chain_in.front();
+              chain_in.pop_front();
+            }
+            const Compress42 cp = compress_4to2(c, a, b, d, e, cin);
+            nq.push_back(cp.sum);
+            emit_carry(next, col, cp.carry);
+            chain_out.push_back(cp.cout);
+          }
+          while (q.size() >= 3) {
+            const NetId a = q.front(); q.pop_front();
+            const NetId b = q.front(); q.pop_front();
+            const NetId d = q.front(); q.pop_front();
+            const SumCarry fa = full_adder(c, a, b, d);
+            nq.push_back(fa.sum);
+            emit_carry(next, col, fa.carry);
+          }
+          // Unconsumed chain bits carry weight 2^col: keep them in this
+          // column's next level.
+          while (!chain_in.empty()) {
+            nq.push_back(chain_in.front());
+            chain_in.pop_front();
+          }
+          chain_in = std::move(chain_out);
+        } else {
+          // Wallace: greedy 3:2 everywhere, 2:2 on the remainder pair.
+          while (q.size() >= 3) {
+            const NetId a = q.front(); q.pop_front();
+            const NetId b = q.front(); q.pop_front();
+            const NetId d = q.front(); q.pop_front();
+            const SumCarry fa = full_adder(c, a, b, d);
+            nq.push_back(fa.sum);
+            emit_carry(next, col, fa.carry);
+          }
+          if (q.size() == 2) {
+            const NetId a = q.front(); q.pop_front();
+            const NetId b = q.front(); q.pop_front();
+            const SumCarry ha = half_adder(c, a, b);
+            nq.push_back(ha.sum);
+            emit_carry(next, col, ha.carry);
+          }
+        }
+        while (!q.empty()) {
+          nq.push_back(q.front());
+          q.pop_front();
+        }
+      }
+      cols = std::move(next);
+    }
+  }
+
+  out.sum.assign(static_cast<std::size_t>(width), c.const0());
+  out.carry.assign(static_cast<std::size_t>(width), c.const0());
+  for (int col = 0; col < width; ++col) {
+    if (!cols[col].empty()) out.sum[col] = cols[col][0];
+    if (cols[col].size() > 1) out.carry[col] = cols[col][1];
+  }
+  return out;
+}
+
+}  // namespace mfm::rtl

@@ -1,0 +1,91 @@
+// Multi-operand addition: bit matrix + carry-save reduction tree.
+//
+// A BitMatrix collects single bits at weighted columns (partial-product
+// dots).  reduce_to_two() compresses the matrix to a sum/carry operand
+// pair with Dadda-scheduled 3:2 counters (the paper's TREE block, Fig. 2).
+// For the dual-lane binary32 mode the tree supports a *lane barrier*: any
+// carry crossing a given column boundary is gated off when a kill signal
+// is high, so the two lanes stay arithmetically independent (Sec. III-B:
+// "blank bits of the PP and allow a correct carry-propagation").
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/u128.h"
+#include "netlist/bus.h"
+#include "netlist/circuit.h"
+
+namespace mfm::rtl {
+
+using netlist::Bus;
+using netlist::Circuit;
+using netlist::NetId;
+
+/// Bits-at-columns view of a multi-operand addition.
+class BitMatrix {
+ public:
+  explicit BitMatrix(int columns) : cols_(static_cast<std::size_t>(columns)) {}
+
+  /// Adds one bit of weight 2^column; bits beyond the matrix width are
+  /// discarded (modular arithmetic over 2^columns, as in hardware).
+  void add_bit(int column, NetId net) {
+    if (column >= 0 && column < width()) cols_[column].push_back(net);
+  }
+
+  /// Adds an entire bus starting at column @p at (LSB of bus at @p at).
+  void add_bus(const Bus& bus, int at = 0) {
+    for (std::size_t i = 0; i < bus.size(); ++i)
+      add_bit(at + static_cast<int>(i), bus[i]);
+  }
+
+  /// Adds a constant (each set bit becomes a Const1 net).
+  void add_constant(Circuit& c, u128 value) {
+    for (int i = 0; i < width() && i < 128; ++i)
+      if (bit_of(value, i)) add_bit(i, c.const1());
+  }
+
+  int width() const { return static_cast<int>(cols_.size()); }
+  int height(int column) const {
+    return static_cast<int>(cols_[column].size());
+  }
+  /// Maximum column height.
+  int max_height() const;
+
+  const std::vector<NetId>& column(int i) const { return cols_[i]; }
+  std::vector<NetId>& column(int i) { return cols_[i]; }
+
+ private:
+  std::vector<std::vector<NetId>> cols_;
+};
+
+/// Optional lane barrier for reduce_to_two(): while @p kill is high, any
+/// tree carry from column (boundary-1) into column boundary is forced to 0.
+struct LaneBarrier {
+  int boundary;
+  NetId kill;
+};
+
+/// Reduction scheduling discipline (the paper says "3:2 or 4:2 CSAs";
+/// reduce_to_two() offers the classic alternatives for ablation).
+enum class TreeStyle {
+  Dadda,         ///< reduce just enough per stage (fewest counters)
+  Wallace,       ///< reduce maximally per stage (more counters, eager)
+  Compressor42,  ///< 4:2 compressor rows (two chained 3:2 per column-pass)
+};
+
+/// Result of carry-save reduction: value = sum + carry (mod 2^width).
+struct Redundant {
+  Bus sum;
+  Bus carry;
+  int stages = 0;  ///< number of 3:2 reduction stages used
+};
+
+/// Reduces the matrix to two operands using the selected counter
+/// scheduling.  Carries crossing @p barrier (if given) are gated by its
+/// kill signal.  The returned buses have the matrix width.
+Redundant reduce_to_two(Circuit& c, const BitMatrix& m,
+                        std::optional<LaneBarrier> barrier = std::nullopt,
+                        TreeStyle style = TreeStyle::Dadda);
+
+}  // namespace mfm::rtl

@@ -1,0 +1,90 @@
+#include "rtl/shifter.h"
+
+#include <cassert>
+
+#include "rtl/adders.h"
+#include "rtl/mux.h"
+#include "rtl/pptree.h"
+
+namespace mfm::rtl {
+
+Bus barrel_shift_left(Circuit& c, const Bus& a, const Bus& amount) {
+  Bus cur = a;
+  const int w = static_cast<int>(a.size());
+  for (std::size_t k = 0; k < amount.size(); ++k) {
+    const int sh = 1 << k;
+    Bus next(cur.size());
+    for (int i = 0; i < w; ++i) {
+      const NetId shifted = i >= sh && sh < w ? cur[static_cast<std::size_t>(i - sh)]
+                                              : c.const0();
+      next[static_cast<std::size_t>(i)] =
+          c.mux2(cur[static_cast<std::size_t>(i)], shifted, amount[k]);
+    }
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+Bus barrel_shift_right(Circuit& c, const Bus& a, const Bus& amount,
+                       NetId fill) {
+  Bus cur = a;
+  const int w = static_cast<int>(a.size());
+  for (std::size_t k = 0; k < amount.size(); ++k) {
+    const int sh = 1 << k;
+    Bus next(cur.size());
+    for (int i = 0; i < w; ++i) {
+      const NetId shifted =
+          i + sh < w ? cur[static_cast<std::size_t>(i + sh)] : fill;
+      next[static_cast<std::size_t>(i)] =
+          c.mux2(cur[static_cast<std::size_t>(i)], shifted, amount[k]);
+    }
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+LzdOut leading_zero_detect(Circuit& c, const Bus& a) {
+  assert(!a.empty());
+  const int w = static_cast<int>(a.size());
+  // Suffix-OR from the MSB downward (Kogge-Stone style doubling): after
+  // the sweep, or_from[i] = OR(a[i..w-1]).
+  Bus or_from = a;
+  for (int d = 1; d < w; d <<= 1) {
+    Bus next = or_from;
+    for (int i = 0; i + d < w; ++i)
+      next[static_cast<std::size_t>(i)] =
+          c.or2(or_from[static_cast<std::size_t>(i)],
+                or_from[static_cast<std::size_t>(i + d)]);
+    or_from = std::move(next);
+  }
+  // Bit i is a leading zero iff nothing at or above it is set; the count
+  // is the popcount of those indicators (carry-save reduction + CPA).
+  int count_bits = 1;
+  while ((1 << count_bits) < w + 1) ++count_bits;
+  BitMatrix m(count_bits);
+  for (int i = 0; i < w; ++i)
+    m.add_bit(0, c.not_(or_from[static_cast<std::size_t>(i)]));
+  const Redundant red = reduce_to_two(c, m);
+  LzdOut out;
+  out.count = ripple_adder(c, red.sum, red.carry, c.const0()).sum;
+  out.all_zero = c.not_(or_from[0]);
+  return out;
+}
+
+CompareOut compare_unsigned(Circuit& c, const Bus& a, const Bus& b) {
+  assert(a.size() == b.size());
+  CompareOut out;
+  std::vector<NetId> eq_terms(a.size());
+  Bus not_b(b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    eq_terms[i] = c.xnor2(a[i], b[i]);
+    not_b[i] = c.not_(b[i]);
+  }
+  out.eq = and_tree(c, eq_terms);
+  // a >= b  <=>  a + ~b + 1 carries out.
+  const AdderOut diff = kogge_stone_adder(c, a, not_b, c.const1());
+  out.lt = c.not_(diff.carry_out);
+  return out;
+}
+
+}  // namespace mfm::rtl

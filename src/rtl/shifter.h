@@ -1,0 +1,45 @@
+// Variable shifters, leading-zero detection and comparison -- the
+// remaining combinational blocks a floating-point datapath generator
+// needs (a full normalization shifter would use these; the paper's
+// multiplier only ever shifts by one, but the library is meant to be a
+// reusable substrate).
+#pragma once
+
+#include "netlist/bus.h"
+#include "netlist/circuit.h"
+
+namespace mfm::rtl {
+
+using netlist::Bus;
+using netlist::Circuit;
+using netlist::NetId;
+
+/// Logarithmic barrel shifter: result = a << amount (zero filled).
+/// amount is an unsigned bus; shifts >= width(a) produce 0.
+Bus barrel_shift_left(Circuit& c, const Bus& a, const Bus& amount);
+
+/// Logarithmic right shifter: result = a >> amount, filling with
+/// @p fill (constant 0 for logical, the sign bit for arithmetic shifts).
+Bus barrel_shift_right(Circuit& c, const Bus& a, const Bus& amount,
+                       NetId fill);
+
+/// Leading-zero detector output.
+struct LzdOut {
+  Bus count;      ///< ceil(log2(width+1)) bits: number of leading zeros
+  NetId all_zero; ///< high when the input is entirely zero
+};
+
+/// Counts leading zeros of @p a (MSB = last bus element).  For an all-zero
+/// input, count = width(a) and all_zero is asserted.
+LzdOut leading_zero_detect(Circuit& c, const Bus& a);
+
+/// Unsigned comparison outputs.
+struct CompareOut {
+  NetId eq;  ///< a == b
+  NetId lt;  ///< a < b (unsigned)
+};
+
+/// Unsigned magnitude comparator built on a prefix borrow network.
+CompareOut compare_unsigned(Circuit& c, const Bus& a, const Bus& b);
+
+}  // namespace mfm::rtl

@@ -1,0 +1,129 @@
+// Word-level partial-product array tests: the sign-extension-compensation
+// identity is the correctness invariant behind every multiplier netlist.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <tuple>
+
+#include "arith/pparray.h"
+
+namespace mfm::arith {
+namespace {
+
+TEST(Multiples, OddMultiplesFromAdders) {
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t x = rng();
+    const auto m = multiples(x, 8);
+    ASSERT_EQ(m.size(), 9u);
+    for (int k = 0; k <= 8; ++k)
+      ASSERT_EQ(m[static_cast<std::size_t>(k)], static_cast<u128>(x) * k);
+    // Identities the hardware pre-computation relies on (Sec. II):
+    ASSERT_EQ(m[3], m[1] + m[2]);        // 3X = X + 2X
+    ASSERT_EQ(m[5], m[1] + m[4]);        // 5X = X + 4X
+    ASSERT_EQ(m[7], m[8] - m[1]);        // 7X = 8X - X
+    ASSERT_EQ(m[6], m[3] << 1);          // 6X = 2 * 3X
+  }
+}
+
+TEST(EncodeRow, ComplementIdentity) {
+  std::mt19937_64 rng(2);
+  const int w = 67;
+  for (int i = 0; i < 10000; ++i) {
+    const u128 mag = (static_cast<u128>(rng()) << 64 | rng()) & mask_bits(w);
+    for (bool neg : {false, true}) {
+      const PPRow row = encode_row(mag, neg, w);
+      EXPECT_EQ(row.sign, neg);
+      // Identity: (-1)^s * mag = enc' + s + !s*2^w - 2^w  (enc' has w bits,
+      // the !s dot sits one column above it).
+      const i128 truth = neg ? -static_cast<i128>(mag) : static_cast<i128>(mag);
+      const i128 recon = static_cast<i128>(row.encp) + (neg ? 1 : 0) +
+                         (neg ? 0 : (static_cast<i128>(1) << w)) -
+                         (static_cast<i128>(1) << w);
+      EXPECT_EQ(recon, truth);
+    }
+  }
+}
+
+TEST(EncodeRow, MagnitudeAlwaysFitsEncWidth) {
+  // mag = |d| * X <= 8 * (2^64 - 1) < 2^67 = 2^(W-1): the property that
+  // makes the inverted-sign-bit compensation exact.
+  const u128 max_mag = static_cast<u128>(8) * ~0ull;
+  EXPECT_LE(max_mag, mask_bits(67));
+}
+
+class PpArrayExhaustive
+    : public ::testing::TestWithParam<std::tuple<int /*n*/, int /*g*/>> {};
+
+TEST_P(PpArrayExhaustive, EqualsProduct) {
+  const auto [n, g] = GetParam();
+  const u128 mask = mask_bits(2 * n);
+  for (std::uint64_t x = 0; x < (1ull << n); ++x)
+    for (std::uint64_t y = 0; y < (1ull << n); ++y)
+      ASSERT_EQ(pp_array_value(x, y, n, g),
+                (static_cast<u128>(x) * y) & mask)
+          << x << "*" << y;
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallSizes, PpArrayExhaustive,
+                         ::testing::Values(std::tuple{4, 1}, std::tuple{4, 2},
+                                           std::tuple{4, 4}, std::tuple{6, 2},
+                                           std::tuple{6, 3}, std::tuple{8, 4},
+                                           std::tuple{9, 3}),
+                         [](const auto& info) {
+                           return "n" + std::to_string(std::get<0>(info.param)) +
+                                  "g" + std::to_string(std::get<1>(info.param));
+                         });
+
+class PpArrayRandom : public ::testing::TestWithParam<int /*g*/> {};
+
+TEST_P(PpArrayRandom, EqualsProduct64Bit) {
+  const int g = GetParam();
+  const int n = 64 % g == 0 ? 64 : 66;  // 66 only valid for g = 3
+  std::mt19937_64 rng(g * 31);
+  for (int i = 0; i < 30000; ++i) {
+    const std::uint64_t x = rng(), y = rng();
+    ASSERT_EQ(pp_array_value(x, y, n, g), static_cast<u128>(x) * y);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radices, PpArrayRandom, ::testing::Values(1, 2, 4),
+                         [](const auto& info) {
+                           return "radix" + std::to_string(1 << info.param);
+                         });
+
+TEST(PpArrayRandomRadix8, EqualsProduct66BitExtension) {
+  // Radix-8 zero-extends 64-bit operands to 66 bits; the array works
+  // modulo 2^128 (columns past 127 vanish).
+  std::mt19937_64 rng(83);
+  for (int i = 0; i < 30000; ++i) {
+    const std::uint64_t x = rng(), y = rng();
+    ASSERT_EQ(pp_array_value(x, y, 66, 3), static_cast<u128>(x) * y);
+  }
+}
+
+TEST(CompConstant, MatchesClosedForm) {
+  // K = sum_i -2^(g*i + n + g - 1) mod 2^columns.
+  for (int g : {1, 2, 4}) {
+    const int n = 8;
+    u128 want = 0;
+    for (int i = 0; i <= n / g; ++i) {
+      const int pos = g * i + n + g - 1;
+      if (pos < 16) want -= static_cast<u128>(1) << pos;
+    }
+    want &= mask_bits(16);
+    EXPECT_EQ(comp_constant(n, g, 16), want) << g;
+  }
+}
+
+TEST(CompConstant, PaperConfiguration64x64Radix16) {
+  // 17 rows, W = 68, positions 67, 71, ..., 127 (16 in range, the 17th
+  // wraps out of the 128-bit field).
+  const u128 k = comp_constant(64, 4, 128);
+  u128 want = 0;
+  for (int i = 0; i < 16; ++i) want -= static_cast<u128>(1) << (4 * i + 67);
+  EXPECT_EQ(k, want & mask_bits(128));
+}
+
+}  // namespace
+}  // namespace mfm::arith

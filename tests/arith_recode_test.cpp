@@ -1,0 +1,111 @@
+// Word-level recoding tests (paper Sec. II): digit-set membership, value
+// preservation, digit counts, transfer-digit structure, and equivalence
+// with classical overlapping-triplet Booth recoding at radix 4.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "arith/recode.h"
+
+namespace mfm::arith {
+namespace {
+
+class RecodeTest : public ::testing::TestWithParam<int /*g*/> {};
+
+TEST_P(RecodeTest, ValuePreservedExhaustive) {
+  const int g = GetParam();
+  const int n = g == 3 ? 15 : 16;  // exhaustive over all n-bit operands
+  for (std::uint64_t y = 0; y < (1ull << n); ++y) {
+    const auto d = recode(y, n, g);
+    ASSERT_EQ(d.size(), static_cast<std::size_t>(n / g) + 1);
+    ASSERT_EQ(digits_value(d, g), y);
+  }
+}
+
+TEST_P(RecodeTest, ValuePreservedRandom64Bit) {
+  const int g = GetParam();
+  const int n = 64 % g == 0 ? 64 : 60;
+  std::mt19937_64 rng(g);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t y =
+        (n == 64 ? rng() : rng() & ((1ull << n) - 1));
+    const auto d = recode(y, n, g);
+    ASSERT_EQ(digits_value(d, g), y);
+  }
+}
+
+TEST_P(RecodeTest, DigitsInMinimallyRedundantSet) {
+  const int g = GetParam();
+  const int n = 64 % g == 0 ? 64 : 60;
+  const int half = 1 << (g - 1);
+  std::mt19937_64 rng(g + 7);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t y = n == 64 ? rng() : rng() & ((1ull << n) - 1);
+    for (const Digit& d : recode(y, n, g)) {
+      ASSERT_GE(d.value, -half);
+      ASSERT_LE(d.value, half);
+      ASSERT_EQ(d.magnitude(), std::abs(d.value));
+      ASSERT_EQ(d.negative(), d.value < 0);
+    }
+  }
+}
+
+TEST_P(RecodeTest, TopDigitIsTransferBit) {
+  // The extra digit equals the MSB of the top group (paper: "the
+  // transfer-digit is the MSB of the four-bit group").
+  const int g = GetParam();
+  const int n = 64 % g == 0 ? 64 : 60;
+  std::mt19937_64 rng(g + 13);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t y = n == 64 ? rng() : rng() & ((1ull << n) - 1);
+    const auto d = recode(y, n, g);
+    const int top = d.back().value;
+    ASSERT_TRUE(top == 0 || top == 1);
+    ASSERT_EQ(top, static_cast<int>((y >> (n - 1)) & 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radices, RecodeTest, ::testing::Values(1, 2, 3, 4),
+                         [](const auto& info) {
+                           return "radix" + std::to_string(1 << info.param);
+                         });
+
+TEST(RecodeRadix4, EqualsOverlappingTripletBooth) {
+  // Classical Booth-2: d_i = y_{2i-1} + y_{2i} - 2*y_{2i+1} on the
+  // zero-extended operand must coincide with the carry-free group recoding.
+  std::mt19937_64 rng(42);
+  for (int iter = 0; iter < 20000; ++iter) {
+    const std::uint64_t y = rng();
+    const auto d = recode_radix4(y);
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      auto bit = [&](int idx) -> int {
+        return (idx < 0 || idx >= 64) ? 0
+                                      : static_cast<int>((y >> idx) & 1);
+      };
+      const int booth = bit(2 * static_cast<int>(i) - 1) +
+                        bit(2 * static_cast<int>(i)) -
+                        2 * bit(2 * static_cast<int>(i) + 1);
+      ASSERT_EQ(d[i].value, booth) << "digit " << i;
+    }
+  }
+}
+
+TEST(RecodeCounts, PaperDigitCounts) {
+  // n = 64: 17 radix-16 digits, 33 radix-4 digits (paper Sec. II);
+  // radix-8 on the 66-bit zero extension: 23 digits.
+  EXPECT_EQ(recode_radix16(0xDEADBEEF12345678ull).size(), 17u);
+  EXPECT_EQ(recode_radix4(0xDEADBEEF12345678ull).size(), 33u);
+  EXPECT_EQ(recode_radix8(0x12345678ull).size(), 23u);
+}
+
+TEST(Recode, ZeroAndAllOnes) {
+  for (int g : {1, 2, 4}) {
+    const auto z = recode(0, 64, g);
+    for (const auto& d : z) EXPECT_EQ(d.value, 0);
+    const auto ones = recode(~0ull, 64, g);
+    EXPECT_EQ(digits_value(ones, g), ~0ull);
+  }
+}
+
+}  // namespace
+}  // namespace mfm::arith

@@ -1,0 +1,189 @@
+// Soft-float addition tests: bit-exact against the host FPU on binary32/64
+// (all classes, cancellation, long alignments), property checks on
+// binary16, and flag behaviour.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <random>
+
+#include "fp/softfloat.h"
+
+namespace mfm::fp {
+namespace {
+
+std::uint32_t f2b(float f) { return std::bit_cast<std::uint32_t>(f); }
+float b2f(std::uint32_t b) { return std::bit_cast<float>(b); }
+std::uint64_t d2b(double d) { return std::bit_cast<std::uint64_t>(d); }
+double b2d(std::uint64_t b) { return std::bit_cast<double>(b); }
+
+template <typename Bits>
+Bits random_bits(std::mt19937_64& rng, int iter) {
+  switch (iter % 8) {
+    case 0:
+      return static_cast<Bits>(rng()) &
+             ~(~Bits(0) << (sizeof(Bits) * 8 - 9));
+    case 1:
+      return static_cast<Bits>(rng()) |
+             (Bits(0x7F) << (sizeof(Bits) * 8 - 9));
+    case 2: {
+      // Close exponents: exercises cancellation.
+      const Bits base = static_cast<Bits>(rng());
+      return base ^ (static_cast<Bits>(rng()) & 0xFFF);
+    }
+    default:
+      return static_cast<Bits>(rng());
+  }
+}
+
+TEST(SoftFloatAdd32, MatchesHostRneRandom) {
+  std::mt19937_64 rng(701);
+  for (int i = 0; i < 300000; ++i) {
+    const std::uint32_t a = random_bits<std::uint32_t>(rng, i);
+    std::uint32_t b = random_bits<std::uint32_t>(rng, i / 2);
+    if (i % 5 == 0) b = a ^ 0x80000000u;  // exact cancellation
+    const float want = b2f(a) + b2f(b);
+    const FpResult got = add(a, b, kBinary32);
+    if (std::isnan(want)) {
+      EXPECT_EQ(decode(got.bits, kBinary32).cls, FpClass::NaN)
+          << std::hex << a << " + " << b;
+    } else {
+      ASSERT_EQ(static_cast<std::uint32_t>(got.bits), f2b(want))
+          << std::hex << a << " + " << b;
+    }
+  }
+}
+
+TEST(SoftFloatAdd64, MatchesHostRneRandom) {
+  std::mt19937_64 rng(702);
+  for (int i = 0; i < 300000; ++i) {
+    const std::uint64_t a = random_bits<std::uint64_t>(rng, i);
+    std::uint64_t b = random_bits<std::uint64_t>(rng, i / 2);
+    if (i % 5 == 0) b = a ^ 0x8000000000000000ull;
+    const double want = b2d(a) + b2d(b);
+    const FpResult got = add(a, b, kBinary64);
+    if (std::isnan(want)) {
+      EXPECT_EQ(decode(got.bits, kBinary64).cls, FpClass::NaN);
+    } else {
+      ASSERT_EQ(static_cast<std::uint64_t>(got.bits), d2b(want))
+          << std::hex << a << " + " << b;
+    }
+  }
+}
+
+TEST(SoftFloatAdd, StickyAlignmentCases) {
+  // Large exponent gaps where the small operand only matters through the
+  // sticky bit; constructed around the tie boundary.
+  std::mt19937_64 rng(703);
+  for (int i = 0; i < 100000; ++i) {
+    const int ea = 400 + static_cast<int>(rng() % 200);
+    const int gap = 20 + static_cast<int>(rng() % 80);
+    const std::uint64_t a =
+        (static_cast<std::uint64_t>(ea + 1023) << 52) |
+        (rng() & ((1ull << 52) - 1));
+    std::uint64_t b = (static_cast<std::uint64_t>(ea - gap + 1023) << 52) |
+                      (rng() & ((1ull << 52) - 1));
+    if (rng() & 1) b |= 0x8000000000000000ull;
+    const double want = b2d(a) + b2d(b);
+    const FpResult got = add(a, b, kBinary64);
+    ASSERT_EQ(static_cast<std::uint64_t>(got.bits), d2b(want))
+        << std::hex << a << " + " << b << " gap=" << gap;
+  }
+}
+
+TEST(SoftFloatAdd, SpecialsAndZeros) {
+  // inf + (-inf) = NaN + invalid.
+  const auto r1 = add(f2b(INFINITY), f2b(-INFINITY), kBinary32);
+  EXPECT_EQ(decode(r1.bits, kBinary32).cls, FpClass::NaN);
+  EXPECT_TRUE(r1.flags.invalid);
+  // inf + finite = inf.
+  EXPECT_EQ(static_cast<std::uint32_t>(
+                add(f2b(-INFINITY), f2b(1e30f), kBinary32).bits),
+            f2b(-INFINITY));
+  // (+0) + (-0) = +0;  (-0) + (-0) = -0.
+  EXPECT_EQ(static_cast<std::uint32_t>(
+                add(f2b(0.0f), f2b(-0.0f), kBinary32).bits),
+            f2b(0.0f));
+  EXPECT_EQ(static_cast<std::uint32_t>(
+                add(f2b(-0.0f), f2b(-0.0f), kBinary32).bits),
+            f2b(-0.0f));
+  // x + (-x) = +0 under round-to-nearest.
+  EXPECT_EQ(static_cast<std::uint32_t>(
+                add(f2b(3.5f), f2b(-3.5f), kBinary32).bits),
+            f2b(0.0f));
+  // 0 + x = x, including subnormal and NaN payload propagation class.
+  EXPECT_EQ(static_cast<std::uint32_t>(
+                add(f2b(0.0f), 0x00000007u, kBinary32).bits),
+            0x00000007u);
+}
+
+TEST(SoftFloatAdd, OverflowAndSubnormals) {
+  const std::uint32_t max32 = 0x7F7FFFFFu;
+  const auto r = add(max32, max32, kBinary32);
+  EXPECT_EQ(decode(r.bits, kBinary32).cls, FpClass::Infinity);
+  EXPECT_TRUE(r.flags.overflow);
+  // Subnormal + subnormal stays exact.
+  const auto r2 = add(0x00000003u, 0x00000005u, kBinary32);
+  EXPECT_EQ(static_cast<std::uint32_t>(r2.bits), 0x00000008u);
+  EXPECT_FALSE(r2.flags.inexact);
+  // Subnormal result from normal cancellation ("gradual underflow").
+  const std::uint32_t n1 = 0x00800001u;  // smallest normal + 1 ulp
+  const std::uint32_t n2 = 0x80800000u;  // -smallest normal
+  const auto r3 = add(n1, n2, kBinary32);
+  EXPECT_EQ(static_cast<std::uint32_t>(r3.bits), 0x00000001u);
+  EXPECT_FALSE(r3.flags.inexact);
+}
+
+TEST(SoftFloatAdd, RoundingModesOnConstructedTie) {
+  // 1.0 + 2^-24: exactly half an ulp of binary32.
+  const std::uint32_t one = f2b(1.0f);
+  const std::uint32_t halfulp = f2b(std::ldexp(1.0f, -24));
+  const auto rne = add(one, halfulp, kBinary32, Rounding::NearestEven);
+  const auto up = add(one, halfulp, kBinary32, Rounding::NearestTiesUp);
+  const auto rtz = add(one, halfulp, kBinary32, Rounding::TowardZero);
+  EXPECT_EQ(static_cast<std::uint32_t>(rne.bits), one);      // ties to even
+  EXPECT_EQ(static_cast<std::uint32_t>(up.bits), one + 1);   // ties away
+  EXPECT_EQ(static_cast<std::uint32_t>(rtz.bits), one);
+  EXPECT_TRUE(rne.flags.inexact);
+}
+
+TEST(SoftFloatAdd, SubtractIsAddWithFlippedSign) {
+  std::mt19937_64 rng(704);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint32_t a = static_cast<std::uint32_t>(rng());
+    const std::uint32_t b = static_cast<std::uint32_t>(rng());
+    if (std::isnan(b2f(a)) || std::isnan(b2f(b))) continue;
+    const float want = b2f(a) - b2f(b);
+    const FpResult got = subtract(a, b, kBinary32);
+    if (std::isnan(want)) {
+      EXPECT_EQ(decode(got.bits, kBinary32).cls, FpClass::NaN);
+    } else {
+      ASSERT_EQ(static_cast<std::uint32_t>(got.bits), f2b(want));
+    }
+  }
+}
+
+TEST(SoftFloatAdd16, PropertiesAndDoubleReference) {
+  // binary16 sums are exact in double (11-bit significands, bounded
+  // alignment), so double-add + one conversion is a valid RNE reference.
+  std::mt19937_64 rng(705);
+  for (int i = 0; i < 200000; ++i) {
+    const std::uint32_t a = static_cast<std::uint32_t>(rng()) & 0xFFFF;
+    const std::uint32_t b = static_cast<std::uint32_t>(rng()) & 0xFFFF;
+    const Decoded da = decode(a, kBinary16), db = decode(b, kBinary16);
+    if (da.cls == FpClass::NaN || db.cls == FpClass::NaN) continue;
+    // Reference: widen exactly to binary64, add exactly, convert once.
+    const auto wa = convert(a, kBinary16, kBinary64);
+    const auto wb = convert(b, kBinary16, kBinary64);
+    const double exact = b2d(static_cast<std::uint64_t>(wa.bits)) +
+                         b2d(static_cast<std::uint64_t>(wb.bits));
+    const auto want = convert(d2b(exact), kBinary64, kBinary16);
+    const auto got = add(a, b, kBinary16);
+    ASSERT_EQ(got.bits, want.bits) << std::hex << a << " + " << b;
+    // Commutativity.
+    ASSERT_EQ(add(b, a, kBinary16).bits, got.bits);
+  }
+}
+
+}  // namespace
+}  // namespace mfm::fp

@@ -1,0 +1,122 @@
+// Cross-simulator integration: the event-driven (timing) simulator must
+// settle to exactly the values the zero-delay simulator computes, cycle by
+// cycle, on the full multi-format unit under mixed-format traffic -- and
+// its settle activity must stay within sane bounds.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "mf/mf_model.h"
+#include "mf/mf_unit.h"
+#include "netlist/power.h"
+#include "netlist/sim_event.h"
+#include "netlist/sim_level.h"
+#include "netlist/timing.h"
+
+namespace mfm {
+namespace {
+
+TEST(SimIntegration, EventSimMatchesLevelSimOnMfUnit) {
+  const mf::MfUnit u = mf::build_mf_unit();
+  const auto& lib = netlist::TechLib::lp45();
+  netlist::LevelSim ref(*u.circuit);
+  netlist::EventSim ev(*u.circuit, lib);
+  std::mt19937_64 rng(1001);
+
+  for (int t = 0; t < 120; ++t) {
+    const int f = static_cast<int>(rng() % 3);
+    std::uint64_t a = rng(), b = rng();
+    if (f == 1) {
+      a = (a & ~(0x7FFull << 52)) | ((512 + (a >> 53) % 1024) << 52);
+      b = (b & ~(0x7FFull << 52)) | ((512 + (b >> 53) % 1024) << 52);
+    }
+    ref.set_port("a", a);
+    ref.set_port("b", b);
+    ref.set_port("frmt", static_cast<std::uint64_t>(f));
+    ref.eval();
+    ev.set_port("a", a);
+    ev.set_port("b", b);
+    ev.set_port("frmt", static_cast<std::uint64_t>(f));
+    ev.cycle();
+    ASSERT_EQ(ev.read_port("ph"), ref.read_port("ph")) << "cycle " << t;
+    ASSERT_EQ(ev.read_port("pl"), ref.read_port("pl")) << "cycle " << t;
+    ref.clock();
+  }
+
+  // Sanity on activity: more events than cycles, far fewer than the
+  // anti-runaway ceiling.
+  EXPECT_GT(ev.events_processed(), 120u);
+  EXPECT_LT(ev.events_processed(), 120u * u.circuit->size());
+}
+
+TEST(SimIntegration, EventSimGlitchCountsAtLeastFunctionalToggles) {
+  // Per net, the timing simulation can only add (glitch) transitions on
+  // top of the functional ones -- in aggregate the event-driven count
+  // must dominate the zero-delay settled-value count.
+  mf::MfOptions opt;
+  opt.pipeline = mf::MfPipeline::Combinational;
+  const mf::MfUnit u = mf::build_mf_unit(opt);
+  const auto& lib = netlist::TechLib::lp45();
+  netlist::LevelSim ref(*u.circuit);
+  netlist::EventSim ev(*u.circuit, lib);
+  std::mt19937_64 rng(1002);
+
+  std::vector<std::uint8_t> prev(u.circuit->size(), 0);
+  std::uint64_t functional = 0;
+  for (int t = 0; t < 40; ++t) {
+    const std::uint64_t a = rng(), b = rng();
+    ref.set_port("a", a);
+    ref.set_port("b", b);
+    ref.set_port("frmt", 0);
+    ref.eval();
+    for (netlist::NetId n = 0; n < u.circuit->size(); ++n) {
+      const std::uint8_t v = ref.value(n) ? 1 : 0;
+      if (v != prev[n]) {
+        ++functional;
+        prev[n] = v;
+      }
+    }
+    ev.set_port("a", a);
+    ev.set_port("b", b);
+    ev.set_port("frmt", 0);
+    ev.cycle();
+  }
+  std::uint64_t timed = 0;
+  for (const auto t : ev.toggles()) timed += t;
+  EXPECT_GE(timed, functional);
+  // And the glitch overhead should be bounded (< 10x functional here).
+  EXPECT_LT(timed, functional * 10);
+}
+
+TEST(SimIntegration, PowerReportsAreDeterministic) {
+  const mf::MfUnit u = mf::build_mf_unit();
+  const auto& lib = netlist::TechLib::lp45();
+  auto run = [&] {
+    netlist::EventSim ev(*u.circuit, lib);
+    netlist::PowerModel pm(*u.circuit, lib);
+    std::mt19937_64 rng(77);
+    for (int i = 0; i < 30; ++i) {
+      ev.set_port("a", rng());
+      ev.set_port("b", rng());
+      ev.set_port("frmt", 0);
+      ev.cycle();
+    }
+    return pm.report(ev, 100.0).total_mw();
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(SimIntegration, StaBoundsLevelSettledPaths) {
+  // STA is a structural upper bound: with registered inputs, every
+  // combinational stage of the pipelined unit must have arrival times no
+  // larger than the reported min period (minus setup), by construction.
+  const mf::MfUnit u = mf::build_mf_unit();
+  const auto& lib = netlist::TechLib::lp45();
+  netlist::Sta sta(*u.circuit, lib);
+  const double bound = sta.max_delay_ps();
+  for (netlist::NetId n = 0; n < u.circuit->size(); ++n)
+    ASSERT_LE(sta.arrival(n), bound) << "net " << n;
+}
+
+}  // namespace
+}  // namespace mfm

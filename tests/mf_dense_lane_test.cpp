@@ -1,0 +1,110 @@
+// Dense lane sweeps through the multi-format netlist: systematic exponent
+// grids and significand corner patterns per lane (the class of sweep that
+// exposed the normalization-select erratum).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "mf/mf_model.h"
+#include "mf/mf_unit.h"
+#include "netlist/sim_level.h"
+
+namespace mfm::mf {
+namespace {
+
+class DenseLaneSweep : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    MfOptions opt;
+    opt.pipeline = MfPipeline::Combinational;
+    unit_ = new MfUnit(build_mf_unit(opt));
+    sim_ = new netlist::LevelSim(*unit_->circuit);
+  }
+  static void TearDownTestSuite() {
+    delete sim_;
+    delete unit_;
+  }
+  static MfUnit* unit_;
+  static netlist::LevelSim* sim_;
+};
+MfUnit* DenseLaneSweep::unit_ = nullptr;
+netlist::LevelSim* DenseLaneSweep::sim_ = nullptr;
+
+// Significand corner patterns that stress carries, rounding and blanking.
+constexpr std::uint32_t kFrac32[] = {
+    0x000000, 0x000001, 0x400000, 0x7FFFFF, 0x7FFFFE, 0x555555,
+    0x2AAAAA, 0x7FF800, 0x0007FF, 0x600000, 0x000003,
+};
+constexpr std::uint64_t kFrac64[] = {
+    0x0000000000000ull, 0x0000000000001ull, 0x8000000000000ull,
+    0xFFFFFFFFFFFFFull, 0xFFFFFFFFFFFFEull, 0x5555555555555ull,
+    0xAAAAAAAAAAAAAull >> 1, 0xFFFFF80000000ull, 0x00000007FFFFFull,
+};
+
+TEST_F(DenseLaneSweep, Fp64ExponentGridTimesFractionCorners) {
+  for (std::uint64_t ea : {1u, 2u, 500u, 1023u, 1024u, 1600u, 2045u, 2046u})
+    for (std::uint64_t eb : {1u, 700u, 1023u, 1500u, 2046u})
+      for (const std::uint64_t fa : kFrac64)
+        for (const std::uint64_t fb : kFrac64) {
+          const std::uint64_t a = (ea << 52) | fa;
+          const std::uint64_t b = (1ull << 63) | (eb << 52) | fb;
+          sim_->set_port("a", a);
+          sim_->set_port("b", b);
+          sim_->set_port("frmt", 1);
+          sim_->eval();
+          ASSERT_EQ(static_cast<std::uint64_t>(sim_->read_port("ph")),
+                    fp64_mul(a, b))
+              << std::hex << a << " * " << b;
+        }
+}
+
+TEST_F(DenseLaneSweep, DualLaneExponentGridBothLanes) {
+  std::mt19937_64 rng(99);
+  for (std::uint32_t e_lo : {1u, 64u, 127u, 128u, 200u, 254u})
+    for (std::uint32_t e_hi : {1u, 100u, 127u, 254u})
+      for (const std::uint32_t f_lo : kFrac32)
+        for (const std::uint32_t f_hi : kFrac32) {
+          const std::uint32_t al = (e_lo << 23) | f_lo;
+          const std::uint32_t ah = (1u << 31) | (e_hi << 23) | f_hi;
+          const std::uint32_t bl =
+              ((rng() & 1u) << 31) | ((1 + rng() % 253) << 23) |
+              kFrac32[rng() % std::size(kFrac32)];
+          const std::uint32_t bh =
+              ((1 + rng() % 253) << 23) | kFrac32[rng() % std::size(kFrac32)];
+          const std::uint64_t a = (static_cast<std::uint64_t>(ah) << 32) | al;
+          const std::uint64_t b = (static_cast<std::uint64_t>(bh) << 32) | bl;
+          sim_->set_port("a", a);
+          sim_->set_port("b", b);
+          sim_->set_port("frmt", 2);
+          sim_->eval();
+          const DualResult want = fp32_mul_dual(ah, al, bh, bl);
+          const std::uint64_t ph =
+              static_cast<std::uint64_t>(sim_->read_port("ph"));
+          ASSERT_EQ(static_cast<std::uint32_t>(ph), want.lo)
+              << std::hex << a << "*" << b;
+          ASSERT_EQ(static_cast<std::uint32_t>(ph >> 32), want.hi)
+              << std::hex << a << "*" << b;
+        }
+}
+
+TEST_F(DenseLaneSweep, Int64CornerPatterns) {
+  const std::uint64_t corners[] = {
+      0ull, 1ull, 2ull, 3ull, ~0ull, ~1ull, 1ull << 63, (1ull << 63) - 1,
+      0x5555555555555555ull, 0xAAAAAAAAAAAAAAAAull, 0x00000000FFFFFFFFull,
+      0xFFFFFFFF00000000ull, 0x0123456789ABCDEFull, 0x8000000080000000ull,
+  };
+  for (const std::uint64_t x : corners)
+    for (const std::uint64_t y : corners) {
+      sim_->set_port("a", x);
+      sim_->set_port("b", y);
+      sim_->set_port("frmt", 0);
+      sim_->eval();
+      const u128 got = (static_cast<u128>(sim_->read_port("ph")) << 64) |
+                       sim_->read_port("pl");
+      ASSERT_EQ(got, static_cast<u128>(x) * y)
+          << std::hex << x << " * " << y;
+    }
+}
+
+}  // namespace
+}  // namespace mfm::mf

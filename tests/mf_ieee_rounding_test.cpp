@@ -1,0 +1,189 @@
+// Tests for the IEEE roundTiesToEven extension (the paper's future-work
+// sticky path): model == full IEEE RNE soft-float on normals; netlist ==
+// model; tie cases verified explicitly in every lane.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "fp/softfloat.h"
+#include "mf/mf_model.h"
+#include "mf/mf_unit.h"
+#include "netlist/sim_level.h"
+
+namespace mfm::mf {
+namespace {
+
+std::uint64_t rand_fp64(std::mt19937_64& rng, int e_lo = 512,
+                        int e_hi = 1534) {
+  return ((rng() & 1) << 63) |
+         (static_cast<std::uint64_t>(e_lo + rng() % (e_hi - e_lo + 1)) << 52) |
+         (rng() & ((1ull << 52) - 1));
+}
+
+TEST(MfRneModel, Fp64MatchesIeeeRneOnNormals) {
+  std::mt19937_64 rng(61);
+  for (int i = 0; i < 200000; ++i) {
+    const std::uint64_t a = rand_fp64(rng), b = rand_fp64(rng);
+    const auto want = fp::multiply(a, b, fp::kBinary64,
+                                   fp::Rounding::NearestEven);
+    ASSERT_EQ(fp64_mul(a, b, MfRounding::NearestEven),
+              static_cast<std::uint64_t>(want.bits))
+        << std::hex << a << " * " << b;
+  }
+}
+
+TEST(MfRneModel, Fp32MatchesIeeeRneOnNormals) {
+  std::mt19937_64 rng(62);
+  auto rand32 = [&rng] {
+    return static_cast<std::uint32_t>(
+        ((rng() & 1) << 31) | ((64 + rng() % 127) << 23) | (rng() & 0x7FFFFF));
+  };
+  for (int i = 0; i < 200000; ++i) {
+    const std::uint32_t ah = rand32(), al = rand32();
+    const std::uint32_t bh = rand32(), bl = rand32();
+    const DualResult r = fp32_mul_dual(ah, al, bh, bl,
+                                       MfRounding::NearestEven);
+    ASSERT_EQ(r.hi, static_cast<std::uint32_t>(
+                        fp::multiply(ah, bh, fp::kBinary32).bits));
+    ASSERT_EQ(r.lo, static_cast<std::uint32_t>(
+                        fp::multiply(al, bl, fp::kBinary32).bits));
+  }
+}
+
+TEST(MfRneModel, ConstructedTiesRoundToEvenInBothPaths) {
+  // Ties in the normalized-high binary32 path: operands o1*2^11, o2*2^12
+  // give a product o1*o2*2^23 with remainder exactly half an ulp.
+  std::mt19937_64 rng(63);
+  int seen_even = 0, seen_odd = 0;
+  for (int i = 0; i < 50000 && (seen_even < 10 || seen_odd < 10); ++i) {
+    const std::uint64_t o1 = (1ull << 12) | (rng() & 0xFFF) | 1ull;
+    const std::uint64_t o2 = (1ull << 11) | (rng() & 0x7FF) | 1ull;
+    if ((o1 * o2) >> 24 == 0) continue;  // need leading bit at 47
+    const std::uint32_t a =
+        (127u << 23) | (static_cast<std::uint32_t>(o1 << 11) & 0x7FFFFF);
+    const std::uint32_t b =
+        (127u << 23) | (static_cast<std::uint32_t>(o2 << 12) & 0x7FFFFF);
+    const std::uint32_t rne = fp32_mul(a, b, MfRounding::NearestEven);
+    const std::uint32_t up = fp32_mul(a, b, MfRounding::PaperTiesUp);
+    // Result LSB must be even under RNE...
+    ASSERT_EQ(rne & 1u, 0u);
+    // ...and the two modes differ by one ulp exactly when ties-up landed
+    // on an odd value.
+    if (up == rne) {
+      ++seen_odd;  // ties-up also hit the even value (kept lsb was odd)
+    } else {
+      ASSERT_EQ(up, rne + 1);
+      ++seen_even;
+    }
+  }
+  EXPECT_GE(seen_even, 10);
+  EXPECT_GE(seen_odd, 10);
+}
+
+TEST(MfRneModel, NonTiesIdenticalAcrossModes) {
+  std::mt19937_64 rng(64);
+  long diffs = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t a = rand_fp64(rng), b = rand_fp64(rng);
+    if (fp64_mul(a, b, MfRounding::NearestEven) !=
+        fp64_mul(a, b, MfRounding::PaperTiesUp))
+      ++diffs;
+  }
+  EXPECT_LE(diffs, 2);  // random 52-bit fractions essentially never tie
+}
+
+TEST(MfRneUnit, NetlistMatchesModel) {
+  MfOptions opt;
+  opt.pipeline = MfPipeline::Combinational;
+  opt.ieee_rounding = true;
+  const MfUnit u = build_mf_unit(opt);
+  netlist::LevelSim sim(*u.circuit);
+  std::mt19937_64 rng(65);
+
+  auto run = [&](Format f, std::uint64_t a, std::uint64_t b) {
+    sim.set_port("a", a);
+    sim.set_port("b", b);
+    sim.set_port("frmt", frmt_bits(f));
+    sim.eval();
+    return static_cast<std::uint64_t>(sim.read_port("ph"));
+  };
+
+  // Random sweep across formats.
+  for (int i = 0; i < 800; ++i) {
+    const std::uint64_t a64 = rand_fp64(rng), b64 = rand_fp64(rng);
+    ASSERT_EQ(run(Format::Fp64, a64, b64),
+              fp64_mul(a64, b64, MfRounding::NearestEven));
+    const std::uint64_t x = rng(), y = rng();
+    sim.set_port("a", x);
+    sim.set_port("b", y);
+    sim.set_port("frmt", 0);
+    sim.eval();
+    ASSERT_EQ((static_cast<u128>(sim.read_port("ph")) << 64) |
+                  sim.read_port("pl"),
+              static_cast<u128>(x) * y);  // int64 unaffected by sticky
+  }
+
+  // Constructed binary64 ties through the netlist: significands o1*2^26
+  // and o2*2^26 (o1, o2 odd 27-bit values) give a product with exactly 52
+  // trailing zeros -- remainder exactly half an ulp in the
+  // normalized-high case (selected when o1*o2 >= 2^53).
+  int ties = 0;
+  for (int i = 0; i < 20000 && ties < 50; ++i) {
+    const std::uint64_t o1 = (1ull << 26) | (rng() & 0x3FFFFFF) | 1ull;
+    const std::uint64_t o2 = (1ull << 26) | (rng() & 0x3FFFFFF) | 1ull;
+    if ((static_cast<u128>(o1) * o2) >> 53 == 0) continue;
+    const std::uint64_t a =
+        (1023ull << 52) | ((o1 << 26) & ((1ull << 52) - 1));
+    const std::uint64_t b =
+        (1023ull << 52) | ((o2 << 26) & ((1ull << 52) - 1));
+    ASSERT_EQ(run(Format::Fp64, a, b),
+              fp64_mul(a, b, MfRounding::NearestEven));
+    ASSERT_EQ(run(Format::Fp64, a, b) & 1ull, 0ull);  // even
+    ++ties;
+  }
+  EXPECT_GE(ties, 50);
+
+  // Dual-lane ties.
+  for (int i = 0; i < 400; ++i) {
+    auto r32 = [&rng] {
+      return static_cast<std::uint32_t>(
+          ((rng() & 1) << 31) | ((64 + rng() % 127) << 23) |
+          (rng() & 0x7FFFFF));
+    };
+    const std::uint32_t ah = r32(), al = r32(), bh = r32(), bl = r32();
+    const std::uint64_t a = (static_cast<std::uint64_t>(ah) << 32) | al;
+    const std::uint64_t b = (static_cast<std::uint64_t>(bh) << 32) | bl;
+    const DualResult want =
+        fp32_mul_dual(ah, al, bh, bl, MfRounding::NearestEven);
+    const std::uint64_t got = run(Format::Fp32Dual, a, b);
+    ASSERT_EQ(static_cast<std::uint32_t>(got >> 32), want.hi);
+    ASSERT_EQ(static_cast<std::uint32_t>(got), want.lo);
+  }
+}
+
+TEST(MfRneUnit, PipelinedVariantWorks) {
+  MfOptions opt;
+  opt.ieee_rounding = true;
+  const MfUnit u = build_mf_unit(opt);
+  netlist::LevelSim sim(*u.circuit);
+  std::mt19937_64 rng(66);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ops;
+  for (int i = 0; i < 100; ++i) ops.emplace_back(rand_fp64(rng), rand_fp64(rng));
+  for (std::size_t i = 0; i < ops.size() + 2; ++i) {
+    if (i < ops.size()) {
+      sim.set_port("a", ops[i].first);
+      sim.set_port("b", ops[i].second);
+      sim.set_port("frmt", 1);
+    }
+    sim.eval();
+    if (i >= 2) {
+      ASSERT_EQ(static_cast<std::uint64_t>(sim.read_port("ph")),
+                fp64_mul(ops[i - 2].first, ops[i - 2].second,
+                         MfRounding::NearestEven));
+    }
+    sim.clock();
+  }
+}
+
+}  // namespace
+}  // namespace mfm::mf

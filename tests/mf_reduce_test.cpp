@@ -1,0 +1,158 @@
+// binary64 -> binary32 reduction tests (Algorithm 1 / Fig. 6): word model
+// vs netlist, boundary exponents, and semantic equivalence with the exact
+// convertibility predicate.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <random>
+
+#include "fp/softfloat.h"
+#include "mf/fp_reduce.h"
+#include "netlist/report.h"
+#include "netlist/sim_level.h"
+#include "netlist/techlib.h"
+
+namespace mfm::mf {
+namespace {
+
+std::uint64_t d2b(double d) { return std::bit_cast<std::uint64_t>(d); }
+
+std::uint64_t make64(int sign, std::uint32_t exp, std::uint64_t frac) {
+  return (static_cast<std::uint64_t>(sign) << 63) |
+         (static_cast<std::uint64_t>(exp) << 52) |
+         (frac & ((1ull << 52) - 1));
+}
+
+TEST(Reduce64To32Model, KnownValues) {
+  EXPECT_EQ(reduce64to32(d2b(1.0)),
+            std::optional<std::uint32_t>(0x3F800000u));
+  EXPECT_EQ(reduce64to32(d2b(-2.5)),
+            std::optional<std::uint32_t>(0xC0200000u));
+  EXPECT_EQ(reduce64to32(d2b(1234.0)),
+            std::optional<std::uint32_t>(
+                std::bit_cast<std::uint32_t>(1234.0f)));
+  EXPECT_EQ(reduce64to32(d2b(0.1)), std::nullopt);        // inexact
+  EXPECT_EQ(reduce64to32(d2b(1.0e200)), std::nullopt);    // overflow
+  EXPECT_EQ(reduce64to32(d2b(1.0e-200)), std::nullopt);   // underflow
+  EXPECT_EQ(reduce64to32(d2b(0.0)), std::nullopt);        // exp field 0
+}
+
+TEST(Reduce64To32Model, ExponentBoundaries) {
+  // Reducible biased-exponent window is exactly [897, 1150].
+  EXPECT_FALSE(reduce64to32(make64(0, 896, 0)).has_value());
+  EXPECT_TRUE(reduce64to32(make64(0, 897, 0)).has_value());
+  EXPECT_TRUE(reduce64to32(make64(0, 1150, 0)).has_value());
+  EXPECT_FALSE(reduce64to32(make64(0, 1151, 0)).has_value());
+  // E_b32 mapping: 897 -> 1, 1150 -> 254.
+  EXPECT_EQ((*reduce64to32(make64(0, 897, 0)) >> 23) & 0xFF, 1u);
+  EXPECT_EQ((*reduce64to32(make64(0, 1150, 0)) >> 23) & 0xFF, 254u);
+}
+
+TEST(Reduce64To32Model, FractionBoundaries) {
+  // Any of the 29 low fraction bits blocks the reduction.
+  EXPECT_TRUE(reduce64to32(make64(0, 1023, 0)).has_value());
+  EXPECT_TRUE(
+      reduce64to32(make64(0, 1023, 0xFFFFFFull << 29)).has_value());
+  for (int bit = 0; bit < 29; ++bit)
+    EXPECT_FALSE(reduce64to32(make64(0, 1023, 1ull << bit)).has_value())
+        << bit;
+  EXPECT_TRUE(reduce64to32(make64(0, 1023, 1ull << 29)).has_value());
+}
+
+TEST(Reduce64To32Model, ValueIsPreservedExactly) {
+  std::mt19937_64 rng(21);
+  int reduced = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t v =
+        make64(static_cast<int>(rng() & 1),
+               static_cast<std::uint32_t>(850 + rng() % 350),
+               (rng() & ((1ull << 52) - 1)) &
+                   (i % 2 ? ~((1ull << 29) - 1) : ~0ull));
+    const auto r = reduce64to32(v);
+    if (!r) continue;
+    ++reduced;
+    // Error-free: the binary32 value converts back to the same binary64.
+    const auto back = fp::convert(*r, fp::kBinary32, fp::kBinary64);
+    ASSERT_FALSE(back.flags.inexact);
+    ASSERT_EQ(static_cast<std::uint64_t>(back.bits), v) << std::hex << v;
+  }
+  EXPECT_GT(reduced, 20000);
+}
+
+TEST(Reduce64To32Model, AgreesWithExactConvertibilityOnNormals) {
+  std::mt19937_64 rng(22);
+  for (int i = 0; i < 100000; ++i) {
+    std::uint64_t v = rng();
+    if (i % 3 == 0) v &= ~((1ull << 29) - 1);
+    if (i % 2 == 0)
+      v = make64(static_cast<int>(v >> 63),
+                 static_cast<std::uint32_t>(850 + rng() % 350), v);
+    const auto dec = fp::decode(v, fp::kBinary64);
+    if (dec.cls != fp::FpClass::Normal) continue;
+    ASSERT_EQ(reduce64to32(v).has_value(),
+              fp::exactly_convertible(v, fp::kBinary64, fp::kBinary32))
+        << std::hex << v;
+  }
+}
+
+class ReduceUnitTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    unit_ = new ReduceUnit(build_reduce_unit());
+    sim_ = new netlist::LevelSim(*unit_->circuit);
+  }
+  static void TearDownTestSuite() {
+    delete sim_;
+    delete unit_;
+  }
+  static std::optional<std::uint32_t> run(std::uint64_t v) {
+    sim_->set_port("in64", v);
+    sim_->eval();
+    if (!sim_->value(unit_->reduce)) return std::nullopt;
+    return static_cast<std::uint32_t>(sim_->read_bus(unit_->out32));
+  }
+  static ReduceUnit* unit_;
+  static netlist::LevelSim* sim_;
+};
+ReduceUnit* ReduceUnitTest::unit_ = nullptr;
+netlist::LevelSim* ReduceUnitTest::sim_ = nullptr;
+
+TEST_F(ReduceUnitTest, MatchesModelOnRandomSweep) {
+  std::mt19937_64 rng(23);
+  for (int i = 0; i < 50000; ++i) {
+    std::uint64_t v = rng();
+    if (i % 3 == 0) v &= ~((1ull << 29) - 1);
+    if (i % 2 == 0)
+      v = make64(static_cast<int>(v >> 63),
+                 static_cast<std::uint32_t>(800 + rng() % 400), v);
+    ASSERT_EQ(run(v), reduce64to32(v)) << std::hex << v;
+  }
+}
+
+TEST_F(ReduceUnitTest, MatchesModelOnBoundaries) {
+  for (std::uint32_t exp :
+       {0u, 1u, 895u, 896u, 897u, 898u, 1023u, 1149u, 1150u, 1151u, 1152u,
+        2046u, 2047u})
+    for (std::uint64_t frac :
+         {0ull, 1ull, (1ull << 28), (1ull << 29) - 1, (1ull << 29),
+          (1ull << 52) - 1, 0xFFFFFFull << 29})
+      for (int sign : {0, 1}) {
+        const std::uint64_t v = make64(sign, exp, frac);
+        ASSERT_EQ(run(v), reduce64to32(v))
+            << "exp=" << exp << " frac=" << std::hex << frac;
+      }
+}
+
+TEST(ReduceUnitCost, SmallFootprint) {
+  // Fig. 6 hardware is tiny: two short CPAs, an OR tree and a mux -- a
+  // few hundred NAND2 equivalents at most.
+  const ReduceUnit u = build_reduce_unit();
+  const double area =
+      netlist::total_area_nand2(*u.circuit, netlist::TechLib::lp45());
+  EXPECT_LT(area, 400.0);
+  EXPECT_GT(area, 20.0);
+}
+
+}  // namespace
+}  // namespace mfm::mf

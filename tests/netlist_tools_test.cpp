@@ -1,0 +1,119 @@
+// Tests for the netlist tooling: structural verifier and VCD writer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "mf/mf_unit.h"
+#include "mult/multiplier.h"
+#include "netlist/sim_level.h"
+#include "netlist/vcd.h"
+#include "netlist/verify.h"
+#include "rtl/adders.h"
+
+namespace mfm::netlist {
+namespace {
+
+TEST(VerifyCircuit, CleanOnGeneratedUnits) {
+  std::vector<std::string> findings;
+  const auto r16 = mult::build_radix16_64(mult::PipelineCut::AfterRecode);
+  const auto st = verify_circuit(*r16.circuit, &findings);
+  EXPECT_TRUE(findings.empty());
+  EXPECT_GT(st.combinational, 10000u);
+  EXPECT_GT(st.flops, 100u);
+  EXPECT_EQ(st.inputs, 128u);
+  EXPECT_GT(st.max_logic_depth, 10);
+
+  findings.clear();
+  const auto mf = mf::build_mf_unit();
+  const auto st2 = verify_circuit(*mf.circuit, &findings);
+  EXPECT_TRUE(findings.empty()) << (findings.empty() ? "" : findings[0]);
+  EXPECT_EQ(st2.inputs, 130u);  // a + b + frmt
+}
+
+TEST(VerifyCircuit, StatsAreConsistent) {
+  Circuit c;
+  const Bus a = c.input_bus("a", 8);
+  const Bus b = c.input_bus("b", 8);
+  const auto sum = rtl::ripple_adder(c, a, b, c.const0());
+  c.output_bus("s", sum.sum);
+  const Bus q = dff_bus(c, sum.sum);
+  c.output_bus("q", q);
+  std::vector<std::string> findings;
+  const auto st = verify_circuit(c, &findings);
+  EXPECT_TRUE(findings.empty());
+  EXPECT_EQ(st.inputs, 16u);
+  EXPECT_EQ(st.flops, 8u);
+  EXPECT_EQ(st.constants, 2u);
+  EXPECT_EQ(st.gates,
+            st.combinational + st.flops + st.inputs + st.constants);
+  // Ripple chain: FA per bit -> depth ~2 gates per bit.
+  EXPECT_GE(st.max_logic_depth, 8);
+}
+
+TEST(VcdWriter, ProducesParsableDump) {
+  Circuit c;
+  const Bus a = c.input_bus("a", 4);
+  const auto inc = rtl::incrementer(c, a, c.const1());
+  c.output_bus("s", inc.sum);
+
+  const std::string path = ::testing::TempDir() + "/mfm_test.vcd";
+  {
+    VcdWriter vcd(path);
+    vcd.add_bus("a", a);
+    vcd.add_bus("s", inc.sum);
+    vcd.add_net("cout", inc.carry_out);
+    LevelSim sim(c);
+    for (int t = 0; t < 16; ++t) {
+      sim.set_bus(a, static_cast<u128>(t));
+      sim.eval();
+      vcd.sample(sim, static_cast<std::uint64_t>(t) * 10);
+    }
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("$timescale 1ns $end"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 4"), std::string::npos);
+  EXPECT_NE(text.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_NE(text.find("#0"), std::string::npos);
+  EXPECT_NE(text.find("#150"), std::string::npos);
+  // Value lines for the 4-bit buses are "b....".
+  EXPECT_NE(text.find("b1111 "), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(VcdWriter, OnlyChangesAreDumped) {
+  Circuit c;
+  const NetId a = c.input("a");
+  c.output("o", c.not_(a));
+  const std::string path = ::testing::TempDir() + "/mfm_test2.vcd";
+  {
+    VcdWriter vcd(path);
+    vcd.add_net("a", a);
+    LevelSim sim(c);
+    for (int t = 0; t < 10; ++t) {
+      sim.set(a, t >= 5);  // one change only
+      sim.eval();
+      vcd.sample(sim, static_cast<std::uint64_t>(t));
+    }
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  // Exactly two timestamps: initial value and the single change.
+  long stamps = 0;
+  for (std::size_t pos = 0; (pos = text.find('#', pos)) != std::string::npos;
+       ++pos)
+    ++stamps;
+  EXPECT_EQ(stamps, 2);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mfm::netlist

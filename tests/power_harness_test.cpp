@@ -1,0 +1,123 @@
+// Workload-generator and measurement-harness tests, including the
+// format-activity ordering that Table V rests on.
+#include <gtest/gtest.h>
+
+#include "mf/fp_reduce.h"
+#include "mf/mf_unit.h"
+#include "power/measure.h"
+#include "power/workloads.h"
+
+namespace mfm::power {
+namespace {
+
+TEST(Workloads, DeterministicUnderSeed) {
+  OperandGen g1(Workload::Fp64Random, 42);
+  OperandGen g2(Workload::Fp64Random, 42);
+  OperandGen g3(Workload::Fp64Random, 43);
+  bool all_same = true;
+  bool any_diff_seed = false;
+  for (int i = 0; i < 100; ++i) {
+    const OpPair a = g1.next(), b = g2.next(), c = g3.next();
+    all_same &= a.a == b.a && a.b == b.b;
+    any_diff_seed |= a.a != c.a;
+  }
+  EXPECT_TRUE(all_same);
+  EXPECT_TRUE(any_diff_seed);
+}
+
+TEST(Workloads, FormatsAndRangesAreValid) {
+  for (Workload w :
+       {Workload::Uniform64, Workload::Fp64Random, Workload::Fp32DualRandom,
+        Workload::Fp32SingleRandom, Workload::Fp64SmallInt,
+        Workload::Fp64SmallFrac, Workload::Fp64Mixed}) {
+    OperandGen gen(w);
+    for (int i = 0; i < 200; ++i) {
+      const OpPair p = gen.next();
+      switch (w) {
+        case Workload::Uniform64:
+          EXPECT_EQ(p.format, mf::Format::Int64);
+          break;
+        case Workload::Fp64Random:
+        case Workload::Fp64SmallInt:
+        case Workload::Fp64SmallFrac:
+        case Workload::Fp64Mixed: {
+          EXPECT_EQ(p.format, mf::Format::Fp64);
+          // Normal operands only (the unit's supported domain).
+          const auto ea = (p.a >> 52) & 0x7FF;
+          const auto eb = (p.b >> 52) & 0x7FF;
+          EXPECT_GT(ea, 0u);
+          EXPECT_LT(ea, 2047u);
+          EXPECT_GT(eb, 0u);
+          EXPECT_LT(eb, 2047u);
+          break;
+        }
+        case Workload::Fp32DualRandom:
+        case Workload::Fp32SingleRandom: {
+          EXPECT_EQ(p.format, mf::Format::Fp32Dual);
+          if (w == Workload::Fp32SingleRandom) {
+            EXPECT_EQ(p.a >> 32, 0u);  // upper lane idle
+            EXPECT_EQ(p.b >> 32, 0u);
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+TEST(Workloads, SmallIntAndSmallFracAreAlwaysReducible) {
+  // The Sec. IV motivating workloads must be 100% eligible for the
+  // error-free binary64 -> binary32 reduction.
+  for (Workload w : {Workload::Fp64SmallInt, Workload::Fp64SmallFrac}) {
+    OperandGen gen(w);
+    for (int i = 0; i < 500; ++i) {
+      const OpPair p = gen.next();
+      EXPECT_TRUE(mf::reduce64to32(p.a).has_value()) << workload_name(w);
+      EXPECT_TRUE(mf::reduce64to32(p.b).has_value()) << workload_name(w);
+    }
+  }
+}
+
+TEST(Workloads, MixedIsPartiallyReducible) {
+  OperandGen gen(Workload::Fp64Mixed);
+  int reducible = 0;
+  for (int i = 0; i < 400; ++i)
+    if (mf::reduce64to32(gen.next().a).has_value()) ++reducible;
+  EXPECT_GT(reducible, 100);
+  EXPECT_LT(reducible, 300);
+}
+
+TEST(Measure, BenchVectorsEnvOverride) {
+  EXPECT_EQ(bench_vectors(123), 123);  // no env var in the test run
+}
+
+TEST(Measure, TableVOrderingHolds) {
+  // The paper's central activity argument (Sec. III-E): power ordering
+  // int64 > fp64 > fp32 dual > fp32 single on the pipelined unit.
+  const mf::MfUnit unit = mf::build_mf_unit();
+  const int vectors = 60;  // small but enough for a stable ordering
+  const auto p_int =
+      measure_mf(unit, Workload::Uniform64, vectors, 880.0, 1);
+  const auto p_f64 =
+      measure_mf(unit, Workload::Fp64Random, vectors, 880.0, 1);
+  const auto p_dual =
+      measure_mf(unit, Workload::Fp32DualRandom, vectors, 880.0, 2);
+  const auto p_single =
+      measure_mf(unit, Workload::Fp32SingleRandom, vectors, 880.0, 1);
+  EXPECT_GT(p_int.mw_100, p_f64.mw_100);
+  EXPECT_GT(p_f64.mw_100, p_dual.mw_100);
+  EXPECT_GT(p_dual.mw_100, p_single.mw_100);
+  // Efficiency: dual binary32 is the best FLOPS/W point (Table V).
+  EXPECT_GT(p_dual.gflops_per_w, p_f64.gflops_per_w);
+  EXPECT_GT(p_single.gflops_per_w, p_f64.gflops_per_w);
+  // Frequency scaling: dynamic power scales linearly.
+  EXPECT_NEAR(p_f64.mw_fmax,
+              (p_f64.at_100mhz.dynamic_mw + p_f64.at_100mhz.clock_mw) * 8.8 +
+                  p_f64.at_100mhz.leakage_mw,
+              1e-9);
+  EXPECT_DOUBLE_EQ(p_dual.gflops, 1.76);
+  EXPECT_DOUBLE_EQ(p_f64.gflops, 0.88);
+}
+
+}  // namespace
+}  // namespace mfm::power

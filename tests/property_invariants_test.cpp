@@ -1,0 +1,237 @@
+// Cross-cutting property tests: algebraic laws of the models, structural
+// invariants of every generator configuration, and monotonicity of the
+// analysis tools.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <random>
+
+#include "mf/fp_reduce.h"
+#include "mf/mf_model.h"
+#include "mf/mf_unit.h"
+#include "mult/fp_adder.h"
+#include "mult/fp_multiplier.h"
+#include "mult/multiplier.h"
+#include "netlist/sim_event.h"
+#include "netlist/sim_level.h"
+#include "netlist/timing.h"
+#include "rtl/adders.h"
+#include "netlist/verify.h"
+#include "fp/softfloat.h"
+
+namespace mfm {
+namespace {
+
+// ---- model algebra ----------------------------------------------------------
+
+TEST(ModelAlgebra, Int64MulCommutesAndAssociatesMod128) {
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t x = rng(), y = rng(), z = rng();
+    ASSERT_EQ(mf::int64_mul(x, y), mf::int64_mul(y, x));
+    // (x*y mod 2^128)*z and x*(y*z) agree modulo 2^64 on the low word
+    // (full associativity needs 192 bits; the low limb is a ring hom).
+    ASSERT_EQ(lo64(mf::int64_mul(lo64(mf::int64_mul(x, y)), z)),
+              lo64(mf::int64_mul(x, lo64(mf::int64_mul(y, z)))));
+  }
+}
+
+TEST(ModelAlgebra, FpMultiplyCommutes) {
+  std::mt19937_64 rng(2);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t a =
+        (rng() & ~(0x7FFull << 52)) | ((1 + rng() % 2046) << 52);
+    const std::uint64_t b =
+        (rng() & ~(0x7FFull << 52)) | ((1 + rng() % 2046) << 52);
+    ASSERT_EQ(mf::fp64_mul(a, b), mf::fp64_mul(b, a));
+    ASSERT_EQ(mf::fp64_mul(a, b, mf::MfRounding::NearestEven),
+              mf::fp64_mul(b, a, mf::MfRounding::NearestEven));
+  }
+}
+
+TEST(ModelAlgebra, DualLanesSwapWithOperands) {
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 50000; ++i) {
+    const auto r32 = [&rng] {
+      return static_cast<std::uint32_t>(
+          ((rng() & 1) << 31) | ((1 + rng() % 253) << 23) | (rng() & 0x7FFFFF));
+    };
+    const std::uint32_t ah = r32(), al = r32(), bh = r32(), bl = r32();
+    const mf::DualResult d1 = mf::fp32_mul_dual(ah, al, bh, bl);
+    const mf::DualResult d2 = mf::fp32_mul_dual(al, ah, bl, bh);
+    ASSERT_EQ(d1.hi, d2.lo);
+    ASSERT_EQ(d1.lo, d2.hi);
+  }
+}
+
+TEST(ModelAlgebra, MulByOneAndByTwoAreExact) {
+  std::mt19937_64 rng(4);
+  const std::uint64_t one = 0x3FF0000000000000ull;
+  const std::uint64_t two = 0x4000000000000000ull;
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t a =
+        (rng() & ~(0x7FFull << 52)) | ((2 + rng() % 2044) << 52);
+    ASSERT_EQ(mf::fp64_mul(a, one), a);
+    // *2: exponent field + 1, fraction unchanged.
+    const std::uint64_t want = a + (1ull << 52);
+    ASSERT_EQ(mf::fp64_mul(a, two), want);
+  }
+}
+
+TEST(ModelAlgebra, ReductionRoundTripsAndIsIdempotent) {
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    std::uint64_t v = rng();
+    if (i & 1) v &= ~((1ull << 29) - 1);
+    if (i % 3 == 0)
+      v = (v & ~(0x7FFull << 52)) | ((900 + rng() % 260) << 52);
+    const auto r = mf::reduce64to32(v);
+    if (!r) continue;
+    // Round trip through binary64 restores the operand exactly...
+    const auto back = fp::convert(*r, fp::kBinary32, fp::kBinary64);
+    ASSERT_EQ(static_cast<std::uint64_t>(back.bits), v);
+    // ...and the restored value reduces to the same binary32 again.
+    ASSERT_EQ(mf::reduce64to32(static_cast<std::uint64_t>(back.bits)), r);
+  }
+}
+
+TEST(ModelAlgebra, PaperRoundingNeverBelowRne) {
+  // Ties-away rounds up at least as often as ties-to-even: the paper-mode
+  // product magnitude is always >= the RNE product magnitude.
+  std::mt19937_64 rng(6);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t a =
+        (rng() & ~(0x7FFull << 52)) | ((512 + rng() % 1024) << 52);
+    const std::uint64_t b =
+        (rng() & ~(0x7FFull << 52)) | ((512 + rng() % 1024) << 52);
+    const std::uint64_t up = mf::fp64_mul(a, b);
+    const std::uint64_t rne = mf::fp64_mul(a, b, mf::MfRounding::NearestEven);
+    ASSERT_GE(up & ~(1ull << 63), rne & ~(1ull << 63));
+    ASSERT_LE((up & ~(1ull << 63)) - (rne & ~(1ull << 63)), 1u);
+  }
+}
+
+// ---- structural invariants over every generator configuration --------------
+
+TEST(StructuralInvariants, EveryGeneratorConfigurationVerifies) {
+  std::vector<std::string> findings;
+  auto expect_clean = [&](const netlist::Circuit& c, const std::string& what) {
+    findings.clear();
+    netlist::verify_circuit(c, &findings);
+    EXPECT_TRUE(findings.empty())
+        << what << ": " << (findings.empty() ? "" : findings[0]);
+  };
+
+  for (int g : {1, 2, 3, 4})
+    for (auto cut : {mult::PipelineCut::None, mult::PipelineCut::AfterRecode,
+                     mult::PipelineCut::AfterTree}) {
+      mult::MultiplierOptions o;
+      o.n = 16;
+      o.g = g;
+      o.cut = cut;
+      o.register_inputs = cut != mult::PipelineCut::None;
+      expect_clean(*mult::build_multiplier(o).circuit,
+                   "mult g=" + std::to_string(g));
+    }
+
+  for (auto pipe : {mf::MfPipeline::Combinational, mf::MfPipeline::Fig5,
+                    mf::MfPipeline::AfterPPGen})
+    for (bool red : {false, true})
+      for (bool rne : {false, true}) {
+        mf::MfOptions o;
+        o.pipeline = pipe;
+        o.with_reduction = red;
+        o.ieee_rounding = rne;
+        expect_clean(*mf::build_mf_unit(o).circuit, "mf unit");
+      }
+
+  for (const fp::FormatSpec* f :
+       {&fp::kBinary16, &fp::kBinary32, &fp::kBinary64}) {
+    mult::FpMultiplierOptions mo;
+    mo.format = *f;
+    expect_clean(*mult::build_fp_multiplier(mo).circuit,
+                 std::string("fpmult ") + std::string(f->name));
+    mult::FpAdderOptions ao;
+    ao.format = *f;
+    expect_clean(*mult::build_fp_adder(ao).circuit,
+                 std::string("fpadd ") + std::string(f->name));
+  }
+
+  expect_clean(*mf::build_reduce_unit().circuit, "reduce unit");
+}
+
+TEST(StructuralInvariants, OptionsCombineCorrectly) {
+  // Reduction + IEEE rounding together: an eligible fp64 op must run on
+  // the fp32 lane with RNE semantics.
+  mf::MfOptions o;
+  o.pipeline = mf::MfPipeline::Combinational;
+  o.with_reduction = true;
+  o.ieee_rounding = true;
+  const mf::MfUnit u = mf::build_mf_unit(o);
+  netlist::LevelSim sim(*u.circuit);
+  std::mt19937_64 rng(7);
+  int reduced = 0;
+  for (int i = 0; i < 400; ++i) {
+    const double x = static_cast<double>(1 + rng() % 4096);
+    const double y =
+        static_cast<double>(1 + rng() % 4095) / 4096.0;
+    const auto a = std::bit_cast<std::uint64_t>(x);
+    const auto b = std::bit_cast<std::uint64_t>(y);
+    sim.set_port("a", a);
+    sim.set_port("b", b);
+    sim.set_port("frmt", 1);
+    sim.eval();
+    ASSERT_TRUE(sim.value(u.reduced));
+    ++reduced;
+    const std::uint32_t got = static_cast<std::uint32_t>(sim.read_port("ph"));
+    ASSERT_EQ(got, mf::fp32_mul(*mf::reduce64to32(a), *mf::reduce64to32(b),
+                                mf::MfRounding::NearestEven));
+  }
+  EXPECT_EQ(reduced, 400);
+}
+
+// ---- analysis-tool monotonicity --------------------------------------------
+
+TEST(AnalysisMonotonicity, AddingLogicNeverShortensCriticalPath) {
+  netlist::Circuit c;
+  const auto a = c.input_bus("a", 16);
+  const auto b = c.input_bus("b", 16);
+  const auto sum = rtl::kogge_stone_adder(c, a, b, c.const0());
+  c.output_bus("s", sum.sum);
+  const double before = netlist::Sta(c, netlist::TechLib::lp45()).max_delay_ps();
+  // Append more logic behind the outputs.
+  netlist::NetId n = sum.sum[15];
+  for (int i = 0; i < 5; ++i) n = c.add(netlist::GateKind::Xor2, n, sum.sum[static_cast<std::size_t>(i)]);
+  c.output("deep", n);
+  const double after = netlist::Sta(c, netlist::TechLib::lp45()).max_delay_ps();
+  EXPECT_GE(after, before + 5 * 64.0 - 1e-9);
+}
+
+TEST(AnalysisMonotonicity, ToggleCountsGrowWithTraffic) {
+  const auto u = mult::build_radix16_64();
+  const auto& lib = netlist::TechLib::lp45();
+  netlist::EventSim sim(*u.circuit, lib);
+  std::mt19937_64 rng(8);
+  auto total = [&] {
+    std::uint64_t t = 0;
+    for (const auto v : sim.toggles()) t += v;
+    return t;
+  };
+  for (int i = 0; i < 10; ++i) {
+    sim.set_bus(u.x, rng());
+    sim.set_bus(u.y, rng());
+    sim.cycle();
+  }
+  const std::uint64_t t10 = total();
+  for (int i = 0; i < 10; ++i) {
+    sim.set_bus(u.x, rng());
+    sim.set_bus(u.y, rng());
+    sim.cycle();
+  }
+  const std::uint64_t t20 = total();
+  EXPECT_GT(t20, t10);
+  EXPECT_LT(t20, t10 * 3);  // roughly linear in vectors
+}
+
+}  // namespace
+}  // namespace mfm

@@ -1,0 +1,157 @@
+// Adder generator tests: exhaustive at small widths, randomized at large
+// widths, across every architecture and carry-in value.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <tuple>
+
+#include "netlist/bus.h"
+#include "netlist/circuit.h"
+#include "netlist/sim_level.h"
+#include "rtl/adders.h"
+
+namespace mfm::rtl {
+namespace {
+
+using netlist::Circuit;
+using netlist::LevelSim;
+
+enum class Arch { Ripple, KoggeStone, Sklansky, BrentKung };
+
+const char* arch_name(Arch a) {
+  switch (a) {
+    case Arch::Ripple:     return "Ripple";
+    case Arch::KoggeStone: return "KoggeStone";
+    case Arch::Sklansky:   return "Sklansky";
+    case Arch::BrentKung:  return "BrentKung";
+  }
+  return "?";
+}
+
+AdderOut build(Circuit& c, Arch arch, const netlist::Bus& a,
+               const netlist::Bus& b, netlist::NetId cin) {
+  switch (arch) {
+    case Arch::Ripple:     return ripple_adder(c, a, b, cin);
+    case Arch::KoggeStone: return prefix_adder(c, a, b, cin, PrefixKind::KoggeStone);
+    case Arch::Sklansky:   return prefix_adder(c, a, b, cin, PrefixKind::Sklansky);
+    case Arch::BrentKung:  return prefix_adder(c, a, b, cin, PrefixKind::BrentKung);
+  }
+  return {};
+}
+
+class AdderExhaustive : public ::testing::TestWithParam<std::tuple<Arch, int>> {
+};
+
+TEST_P(AdderExhaustive, AllOperandsAllCarries) {
+  const auto [arch, n] = GetParam();
+  Circuit c;
+  const auto a = c.input_bus("a", n);
+  const auto b = c.input_bus("b", n);
+  const auto cin = c.input("cin");
+  const auto out = build(c, arch, a, b, cin);
+  c.output_bus("s", out.sum);
+  c.output("cout", out.carry_out);
+  LevelSim sim(c);
+  const std::uint64_t lim = 1ull << n;
+  for (std::uint64_t av = 0; av < lim; ++av)
+    for (std::uint64_t bv = 0; bv < lim; ++bv)
+      for (int cv = 0; cv < 2; ++cv) {
+        sim.set_bus(a, av);
+        sim.set_bus(b, bv);
+        sim.set(cin, cv != 0);
+        sim.eval();
+        const std::uint64_t want = av + bv + static_cast<std::uint64_t>(cv);
+        ASSERT_EQ(sim.read_bus(out.sum), (want & (lim - 1)))
+            << arch_name(arch) << " " << av << "+" << bv << "+" << cv;
+        ASSERT_EQ(sim.value(out.carry_out), (want >> n) != 0);
+      }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallWidths, AdderExhaustive,
+    ::testing::Combine(::testing::Values(Arch::Ripple, Arch::KoggeStone,
+                                         Arch::Sklansky, Arch::BrentKung),
+                       ::testing::Values(1, 2, 3, 4, 5)),
+    [](const auto& info) {
+      return std::string(arch_name(std::get<0>(info.param))) + "_w" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+class AdderRandom : public ::testing::TestWithParam<std::tuple<Arch, int>> {};
+
+TEST_P(AdderRandom, MatchesWideArithmetic) {
+  const auto [arch, n] = GetParam();
+  Circuit c;
+  const auto a = c.input_bus("a", n);
+  const auto b = c.input_bus("b", n);
+  const auto cin = c.input("cin");
+  const auto out = build(c, arch, a, b, cin);
+  c.output_bus("s", out.sum);
+  c.output("cout", out.carry_out);
+  LevelSim sim(c);
+  std::mt19937_64 rng(0xADD + n);
+  const u128 mask = n >= 128 ? ~static_cast<u128>(0)
+                             : (static_cast<u128>(1) << n) - 1;
+  for (int i = 0; i < 500; ++i) {
+    u128 av = (static_cast<u128>(rng()) << 64 | rng()) & mask;
+    u128 bv = (static_cast<u128>(rng()) << 64 | rng()) & mask;
+    // Bias toward long-carry patterns occasionally.
+    if (i % 7 == 0) av = mask;
+    if (i % 11 == 0) bv = mask - av;
+    const bool cv = rng() & 1;
+    sim.set_bus(a, av);
+    sim.set_bus(b, bv);
+    sim.set(cin, cv);
+    sim.eval();
+    const u128 want = av + bv + (cv ? 1 : 0);
+    ASSERT_EQ(sim.read_bus(out.sum), want & mask);
+    const bool want_cout =
+        n < 128 ? (want >> n) != 0
+                : (want < av || (want == av && (bv != 0 || cv)));
+    ASSERT_EQ(sim.value(out.carry_out), want_cout);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LargeWidths, AdderRandom,
+    ::testing::Combine(::testing::Values(Arch::Ripple, Arch::KoggeStone,
+                                         Arch::Sklansky, Arch::BrentKung),
+                       ::testing::Values(11, 24, 53, 64, 67, 128)),
+    [](const auto& info) {
+      return std::string(arch_name(std::get<0>(info.param))) + "_w" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Incrementer, ExhaustiveEightBit) {
+  Circuit c;
+  const auto a = c.input_bus("a", 8);
+  const auto cin = c.input("cin");
+  const auto out = incrementer(c, a, cin);
+  LevelSim sim(c);
+  for (int av = 0; av < 256; ++av)
+    for (int cv = 0; cv < 2; ++cv) {
+      sim.set_bus(a, static_cast<u128>(av));
+      sim.set(cin, cv != 0);
+      sim.eval();
+      ASSERT_EQ(sim.read_bus(out.sum), static_cast<u128>((av + cv) & 0xFF));
+      ASSERT_EQ(sim.value(out.carry_out), av + cv > 0xFF);
+    }
+}
+
+TEST(AddConstant, FoldsAndComputes) {
+  Circuit c;
+  const auto a = c.input_bus("a", 12);
+  const auto out = add_constant(c, a, 0xB81 & 0xFFF);
+  LevelSim sim(c);
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t av = rng() & 0xFFF;
+    sim.set_bus(a, av);
+    sim.eval();
+    ASSERT_EQ(sim.read_bus(out.sum), (av + 0xB81) & 0xFFF);
+  }
+}
+
+}  // namespace
+}  // namespace mfm::rtl

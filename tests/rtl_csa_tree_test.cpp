@@ -1,0 +1,263 @@
+// Carry-save primitive and reduction-tree tests, including the dual-lane
+// barrier used by the multi-format array (Sec. III-B).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "netlist/bus.h"
+#include "netlist/circuit.h"
+#include "netlist/sim_level.h"
+#include "rtl/csa.h"
+#include "rtl/pptree.h"
+
+namespace mfm::rtl {
+namespace {
+
+using netlist::Circuit;
+using netlist::LevelSim;
+using netlist::NetId;
+
+TEST(Csa, FullAdderTruthTable) {
+  Circuit c;
+  const NetId a = c.input("a");
+  const NetId b = c.input("b");
+  const NetId d = c.input("d");
+  const auto fa = full_adder(c, a, b, d);
+  LevelSim sim(c);
+  for (int v = 0; v < 8; ++v) {
+    sim.set(a, v & 1);
+    sim.set(b, v & 2);
+    sim.set(d, v & 4);
+    sim.eval();
+    const int total = (v & 1) + ((v >> 1) & 1) + ((v >> 2) & 1);
+    EXPECT_EQ(sim.value(fa.sum), (total & 1) != 0);
+    EXPECT_EQ(sim.value(fa.carry), total >= 2);
+  }
+}
+
+TEST(Csa, HalfAdderTruthTable) {
+  Circuit c;
+  const NetId a = c.input("a");
+  const NetId b = c.input("b");
+  const auto ha = half_adder(c, a, b);
+  LevelSim sim(c);
+  for (int v = 0; v < 4; ++v) {
+    sim.set(a, v & 1);
+    sim.set(b, v & 2);
+    sim.eval();
+    const int total = (v & 1) + ((v >> 1) & 1);
+    EXPECT_EQ(sim.value(ha.sum), (total & 1) != 0);
+    EXPECT_EQ(sim.value(ha.carry), total == 2);
+  }
+}
+
+TEST(Csa, Compressor42SumsFiveInputs) {
+  Circuit c;
+  NetId in[5];
+  const char* names[5] = {"a", "b", "d", "e", "cin"};
+  for (int i = 0; i < 5; ++i) in[i] = c.input(names[i]);
+  const auto cp = compress_4to2(c, in[0], in[1], in[2], in[3], in[4]);
+  LevelSim sim(c);
+  for (int v = 0; v < 32; ++v) {
+    int total = 0;
+    for (int i = 0; i < 5; ++i) {
+      sim.set(in[i], (v >> i) & 1);
+      total += (v >> i) & 1;
+    }
+    sim.eval();
+    const int got = (sim.value(cp.sum) ? 1 : 0) +
+                    2 * (sim.value(cp.carry) ? 1 : 0) +
+                    2 * (sim.value(cp.cout) ? 1 : 0);
+    EXPECT_EQ(got, total) << "v=" << v;
+  }
+}
+
+// Property-style tree tests: random bit matrices of every shape must
+// reduce to a sum/carry pair whose total matches the column weights,
+// under every scheduling style.
+class TreeShape
+    : public ::testing::TestWithParam<
+          std::tuple<int /*width*/, int /*h*/, TreeStyle>> {};
+
+TEST_P(TreeShape, ReductionPreservesValue) {
+  const auto [width, max_h, style] = GetParam();
+  std::mt19937_64 rng(width * 131 + max_h);
+  for (int iter = 0; iter < 12; ++iter) {
+    Circuit c;
+    BitMatrix m(width);
+    std::vector<std::pair<int, NetId>> ins;
+    for (int col = 0; col < width; ++col) {
+      const int h = static_cast<int>(rng() % (max_h + 1));
+      for (int k = 0; k < h; ++k) {
+        const NetId n = c.add(netlist::GateKind::Input);
+        m.add_bit(col, n);
+        ins.emplace_back(col, n);
+      }
+    }
+    const auto red = reduce_to_two(c, m, std::nullopt, style);
+    c.output_bus("s", red.sum);
+    c.output_bus("cy", red.carry);
+    LevelSim sim(c);
+    for (int trial = 0; trial < 8; ++trial) {
+      u128 want = 0;
+      const u128 mask = width >= 128 ? ~static_cast<u128>(0)
+                                     : (static_cast<u128>(1) << width) - 1;
+      for (auto& [col, n] : ins) {
+        const bool v = rng() & 1;
+        sim.set(n, v);
+        if (v) want += static_cast<u128>(1) << col;
+      }
+      want &= mask;
+      sim.eval();
+      const u128 got =
+          (sim.read_port("s") + sim.read_port("cy")) & mask;
+      ASSERT_EQ(got, want);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TreeShape,
+    ::testing::Combine(::testing::Values(1, 4, 9, 16, 33, 64),
+                       ::testing::Values(1, 2, 3, 5, 9, 17, 33),
+                       ::testing::Values(TreeStyle::Dadda, TreeStyle::Wallace,
+                                         TreeStyle::Compressor42)),
+    [](const auto& info) {
+      const char* st = std::get<2>(info.param) == TreeStyle::Dadda ? "dadda"
+                       : std::get<2>(info.param) == TreeStyle::Wallace
+                           ? "wallace"
+                           : "comp42";
+      return "w" + std::to_string(std::get<0>(info.param)) + "_h" +
+             std::to_string(std::get<1>(info.param)) + "_" + st;
+    });
+
+TEST(Tree, LaneBarrierHoldsInEveryStyle) {
+  std::mt19937_64 rng(77);
+  for (TreeStyle style :
+       {TreeStyle::Dadda, TreeStyle::Wallace, TreeStyle::Compressor42}) {
+    Circuit c;
+    const NetId dual = c.input("dual");
+    BitMatrix m(24);
+    std::vector<std::pair<int, NetId>> ins;
+    for (int lane = 0; lane < 2; ++lane)
+      for (int col = 0; col < 12; ++col)
+        for (int k = 0; k < 4; ++k) {
+          const NetId n = c.add(netlist::GateKind::Input);
+          m.add_bit(lane * 12 + col, n);
+          ins.emplace_back(lane * 12 + col, n);
+        }
+    const auto red = reduce_to_two(c, m, LaneBarrier{12, dual}, style);
+    c.output_bus("s", red.sum);
+    c.output_bus("cy", red.carry);
+    LevelSim sim(c);
+    for (int trial = 0; trial < 150; ++trial) {
+      u128 lo = 0, hi = 0;
+      for (auto& [col, n] : ins) {
+        const bool v = rng() & 1;
+        sim.set(n, v);
+        if (v) {
+          if (col < 12)
+            lo += static_cast<u128>(1) << col;
+          else
+            hi += static_cast<u128>(1) << (col - 12);
+        }
+      }
+      sim.set(dual, true);
+      sim.eval();
+      const u128 s = sim.read_port("s"), cy = sim.read_port("cy");
+      ASSERT_EQ(((s & 0xFFF) + (cy & 0xFFF)) & 0xFFF, lo & 0xFFF);
+      ASSERT_EQ((((s >> 12) & 0xFFF) + ((cy >> 12) & 0xFFF)) & 0xFFF,
+                hi & 0xFFF);
+      sim.set(dual, false);
+      sim.eval();
+      ASSERT_EQ((sim.read_port("s") + sim.read_port("cy")) & 0xFFFFFF,
+                (lo + (hi << 12)) & 0xFFFFFF);
+    }
+  }
+}
+
+TEST(Tree, ConstantDotsFoldThroughReduction) {
+  // A matrix made only of constants must reduce with zero logic gates.
+  Circuit c;
+  BitMatrix m(16);
+  m.add_constant(c, 0xABCD);
+  m.add_constant(c, 0x1111);
+  m.add_constant(c, 0xF0F3);  // forces height-3 columns through the FAs
+  const std::size_t before = c.size();
+  const auto red = reduce_to_two(c, m);
+  EXPECT_EQ(c.size(), before);  // pure constant propagation
+  LevelSim sim(c);
+  sim.eval();
+  EXPECT_EQ((sim.read_bus(red.sum) + sim.read_bus(red.carry)) & 0xFFFF,
+            (0xABCDu + 0x1111u + 0xF0F3u) & 0xFFFF);
+}
+
+TEST(Tree, DaddaStagesMatchTheory) {
+  // 17 rows needs 6 stages (17->13->9->6->4->3->2); 33 needs 8.
+  auto stages_for = [](int rows) {
+    Circuit c;
+    BitMatrix m(rows + 2);
+    for (int r = 0; r < rows; ++r)
+      for (int col = 0; col < 2; ++col)
+        m.add_bit(col, c.add(netlist::GateKind::Input));
+    return reduce_to_two(c, m).stages;
+  };
+  EXPECT_EQ(stages_for(3), 1);
+  EXPECT_EQ(stages_for(4), 2);
+  EXPECT_EQ(stages_for(9), 4);
+  EXPECT_EQ(stages_for(17), 6);
+  EXPECT_EQ(stages_for(33), 8);
+}
+
+TEST(Tree, LaneBarrierIsolatesLanesExactly) {
+  // Two independent 8-bit x 8-bit style lanes packed into one 32-column
+  // matrix (lower at 0, upper at 16).  With the barrier killed, each lane
+  // must come out modulo 2^16 with no cross-lane interference even though
+  // per-lane sums overflow into the boundary columns.
+  std::mt19937_64 rng(99);
+  Circuit c;
+  const NetId dual = c.input("dual");
+  BitMatrix m(32);
+  std::vector<std::pair<int, NetId>> ins;
+  for (int lane = 0; lane < 2; ++lane)
+    for (int col = 0; col < 16; ++col)
+      for (int k = 0; k < 3; ++k) {
+        const NetId n = c.add(netlist::GateKind::Input);
+        m.add_bit(lane * 16 + col, n);
+        ins.emplace_back(lane * 16 + col, n);
+      }
+  const auto red = reduce_to_two(c, m, LaneBarrier{16, dual});
+  c.output_bus("s", red.sum);
+  c.output_bus("cy", red.carry);
+  LevelSim sim(c);
+  for (int trial = 0; trial < 300; ++trial) {
+    u128 lo = 0, hi = 0;
+    for (auto& [col, n] : ins) {
+      const bool v = rng() & 1;
+      sim.set(n, v);
+      if (v) {
+        if (col < 16)
+          lo += static_cast<u128>(1) << col;
+        else
+          hi += static_cast<u128>(1) << (col - 16);
+      }
+    }
+    // Dual mode: each lane reduced mod 2^16, summed per lane.
+    sim.set(dual, true);
+    sim.eval();
+    const u128 s = sim.read_port("s"), cy = sim.read_port("cy");
+    const u128 lane_lo = (s & 0xFFFF) + (cy & 0xFFFF);
+    const u128 lane_hi = ((s >> 16) & 0xFFFF) + ((cy >> 16) & 0xFFFF);
+    ASSERT_EQ(lane_lo & 0xFFFF, lo & 0xFFFF);
+    ASSERT_EQ(lane_hi & 0xFFFF, hi & 0xFFFF);
+    // Fused mode: plain 32-column reduction.
+    sim.set(dual, false);
+    sim.eval();
+    const u128 got = (sim.read_port("s") + sim.read_port("cy")) &
+                     ((static_cast<u128>(1) << 32) - 1);
+    ASSERT_EQ(got, (lo + (hi << 16)) & ((static_cast<u128>(1) << 32) - 1));
+  }
+}
+
+}  // namespace
+}  // namespace mfm::rtl

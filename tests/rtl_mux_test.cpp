@@ -1,0 +1,148 @@
+// Mux / decoder / reduction-tree generator tests.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "netlist/bus.h"
+#include "netlist/circuit.h"
+#include "netlist/sim_level.h"
+#include "rtl/mux.h"
+
+namespace mfm::rtl {
+namespace {
+
+using netlist::Bus;
+using netlist::Circuit;
+using netlist::LevelSim;
+using netlist::NetId;
+
+class DecoderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecoderTest, OneHotExhaustive) {
+  const int bits = GetParam();
+  Circuit c;
+  const Bus sel = c.input_bus("sel", bits);
+  const NetId en = c.input("en");
+  const auto outs = decoder(c, sel, en);
+  ASSERT_EQ(outs.size(), 1u << bits);
+  LevelSim sim(c);
+  for (int s = 0; s < (1 << bits); ++s)
+    for (int e = 0; e < 2; ++e) {
+      sim.set_bus(sel, static_cast<u128>(s));
+      sim.set(en, e != 0);
+      sim.eval();
+      for (int k = 0; k < (1 << bits); ++k)
+        ASSERT_EQ(sim.value(outs[static_cast<std::size_t>(k)]),
+                  e != 0 && k == s)
+            << "s=" << s << " k=" << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DecoderTest, ::testing::Values(1, 2, 3, 4));
+
+class OnehotMuxTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OnehotMuxTest, SelectsExactlyOne) {
+  const int ways = GetParam();
+  Circuit c;
+  std::vector<NetId> data(static_cast<std::size_t>(ways));
+  std::vector<NetId> sel(static_cast<std::size_t>(ways));
+  for (int i = 0; i < ways; ++i) {
+    data[static_cast<std::size_t>(i)] = c.input("d" + std::to_string(i));
+    sel[static_cast<std::size_t>(i)] = c.input("s" + std::to_string(i));
+  }
+  const NetId out = mux_onehot(c, data, sel);
+  LevelSim sim(c);
+  std::mt19937_64 rng(ways);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int pick = static_cast<int>(rng() % (ways + 1));  // ways = none
+    std::uint64_t dv = rng();
+    for (int i = 0; i < ways; ++i) {
+      sim.set(data[static_cast<std::size_t>(i)], (dv >> i) & 1);
+      sim.set(sel[static_cast<std::size_t>(i)], i == pick);
+    }
+    sim.eval();
+    const bool want = pick < ways && ((dv >> pick) & 1);
+    ASSERT_EQ(sim.value(out), want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, OnehotMuxTest, ::testing::Values(2, 3, 4, 8));
+
+TEST(OnehotMuxBus, EightWayBusSelection) {
+  Circuit c;
+  std::vector<Bus> data(8);
+  std::vector<NetId> sel(8);
+  for (int i = 0; i < 8; ++i) {
+    data[static_cast<std::size_t>(i)] =
+        c.input_bus("d" + std::to_string(i), 16);
+    sel[static_cast<std::size_t>(i)] = c.input("s" + std::to_string(i));
+  }
+  const Bus out = mux_onehot_bus(c, data, sel);
+  c.output_bus("o", out);
+  LevelSim sim(c);
+  std::mt19937_64 rng(8);
+  std::uint64_t vals[8];
+  for (int trial = 0; trial < 100; ++trial) {
+    for (int i = 0; i < 8; ++i) {
+      vals[i] = rng() & 0xFFFF;
+      sim.set_bus(data[static_cast<std::size_t>(i)], vals[i]);
+    }
+    const int pick = static_cast<int>(rng() % 9);
+    for (int i = 0; i < 8; ++i)
+      sim.set(sel[static_cast<std::size_t>(i)], i == pick);
+    sim.eval();
+    ASSERT_EQ(sim.read_port("o"), pick < 8 ? vals[pick] : 0u);
+  }
+}
+
+TEST(ReductionTrees, MatchReferenceOnRandomInputs) {
+  for (int n : {0, 1, 2, 3, 5, 8, 13, 29, 64}) {
+    Circuit c;
+    std::vector<NetId> in(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) in[static_cast<std::size_t>(i)] = c.input("i" + std::to_string(i));
+    const NetId o = or_tree(c, in);
+    const NetId a = and_tree(c, in);
+    const NetId x = xor_tree(c, in);
+    LevelSim sim(c);
+    std::mt19937_64 rng(n);
+    for (int trial = 0; trial < 64; ++trial) {
+      bool any = false, all = true, par = false;
+      for (int i = 0; i < n; ++i) {
+        const bool v = rng() & 1;
+        sim.set(in[static_cast<std::size_t>(i)], v);
+        any |= v;
+        all &= v;
+        par ^= v;
+      }
+      if (n == 0) {
+        all = true;
+        any = false;
+        par = false;
+      }
+      sim.eval();
+      ASSERT_EQ(sim.value(o), any) << "n=" << n;
+      ASSERT_EQ(sim.value(a), all) << "n=" << n;
+      ASSERT_EQ(sim.value(x), par) << "n=" << n;
+    }
+  }
+}
+
+TEST(EqualsConstant, ExhaustiveSixBit) {
+  Circuit c;
+  const Bus a = c.input_bus("a", 6);
+  std::vector<NetId> eq(64);
+  for (int k = 0; k < 64; ++k)
+    eq[static_cast<std::size_t>(k)] =
+        equals_constant(c, a, static_cast<u128>(k));
+  LevelSim sim(c);
+  for (int v = 0; v < 64; ++v) {
+    sim.set_bus(a, static_cast<u128>(v));
+    sim.eval();
+    for (int k = 0; k < 64; ++k)
+      ASSERT_EQ(sim.value(eq[static_cast<std::size_t>(k)]), v == k);
+  }
+}
+
+}  // namespace
+}  // namespace mfm::rtl

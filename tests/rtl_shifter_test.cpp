@@ -1,0 +1,222 @@
+// Tests for the variable shifters, leading-zero detector, comparator,
+// Han-Carlson prefix adder and carry-select adder.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <tuple>
+
+#include "netlist/bus.h"
+#include "netlist/circuit.h"
+#include "netlist/sim_level.h"
+#include "rtl/adders.h"
+#include "rtl/shifter.h"
+
+namespace mfm::rtl {
+namespace {
+
+using netlist::Circuit;
+using netlist::LevelSim;
+using netlist::NetId;
+
+class BarrelShift : public ::testing::TestWithParam<int /*width*/> {};
+
+TEST_P(BarrelShift, LeftMatchesReference) {
+  const int w = GetParam();
+  int amt_bits = 1;
+  while ((1 << amt_bits) < w + 1) ++amt_bits;
+  Circuit c;
+  const auto a = c.input_bus("a", w);
+  const auto amt = c.input_bus("amt", amt_bits);
+  const auto out = barrel_shift_left(c, a, amt);
+  LevelSim sim(c);
+  std::mt19937_64 rng(w);
+  const u128 mask = (w >= 128) ? ~static_cast<u128>(0)
+                               : (static_cast<u128>(1) << w) - 1;
+  for (int t = 0; t < 300; ++t) {
+    const u128 av = (static_cast<u128>(rng()) << 64 | rng()) & mask;
+    const int s = static_cast<int>(rng() % (1 << amt_bits));
+    sim.set_bus(a, av);
+    sim.set_bus(amt, static_cast<u128>(s));
+    sim.eval();
+    const u128 want = s >= w ? 0 : ((av << s) & mask);
+    ASSERT_EQ(sim.read_bus(out), want) << "w=" << w << " s=" << s;
+  }
+}
+
+TEST_P(BarrelShift, RightLogicalAndArithmetic) {
+  const int w = GetParam();
+  int amt_bits = 1;
+  while ((1 << amt_bits) < w + 1) ++amt_bits;
+  Circuit c;
+  const auto a = c.input_bus("a", w);
+  const auto amt = c.input_bus("amt", amt_bits);
+  const auto logical = barrel_shift_right(c, a, amt, c.const0());
+  const auto arith =
+      barrel_shift_right(c, a, amt, a[static_cast<std::size_t>(w - 1)]);
+  LevelSim sim(c);
+  std::mt19937_64 rng(w + 1);
+  const u128 mask = (w >= 128) ? ~static_cast<u128>(0)
+                               : (static_cast<u128>(1) << w) - 1;
+  for (int t = 0; t < 300; ++t) {
+    const u128 av = (static_cast<u128>(rng()) << 64 | rng()) & mask;
+    const int s = static_cast<int>(rng() % (1 << amt_bits));
+    sim.set_bus(a, av);
+    sim.set_bus(amt, static_cast<u128>(s));
+    sim.eval();
+    const u128 want_l = s >= w ? 0 : (av >> s);
+    ASSERT_EQ(sim.read_bus(logical), want_l);
+    const bool neg = bit_of(av, w - 1);
+    u128 want_a = want_l;
+    if (neg) {
+      for (int i = std::max(0, w - s); i < w; ++i)
+        want_a |= static_cast<u128>(1) << i;
+      if (s >= w) want_a = mask;
+    }
+    ASSERT_EQ(sim.read_bus(arith), want_a) << "w=" << w << " s=" << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BarrelShift,
+                         ::testing::Values(1, 5, 8, 24, 53, 64));
+
+class LzdTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LzdTest, CountsLeadingZeros) {
+  const int w = GetParam();
+  Circuit c;
+  const auto a = c.input_bus("a", w);
+  const auto lzd = leading_zero_detect(c, a);
+  LevelSim sim(c);
+  std::mt19937_64 rng(w + 5);
+  auto check = [&](u128 av) {
+    sim.set_bus(a, av);
+    sim.eval();
+    int want = 0;
+    for (int i = w - 1; i >= 0 && !bit_of(av, i); --i) ++want;
+    ASSERT_EQ(sim.read_bus(lzd.count), static_cast<u128>(want))
+        << "w=" << w << " v=" << static_cast<unsigned long long>(av);
+    ASSERT_EQ(sim.value(lzd.all_zero), av == 0);
+  };
+  check(0);
+  for (int i = 0; i < w; ++i) check(static_cast<u128>(1) << i);
+  const u128 mask = (w >= 128) ? ~static_cast<u128>(0)
+                               : (static_cast<u128>(1) << w) - 1;
+  for (int t = 0; t < 300; ++t)
+    check((static_cast<u128>(rng()) << 64 | rng()) & mask &
+          (mask >> (rng() % w)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LzdTest,
+                         ::testing::Values(1, 2, 3, 8, 24, 53, 64));
+
+TEST(CompareUnsigned, ExhaustiveSixBitPairs) {
+  Circuit c;
+  const auto a = c.input_bus("a", 6);
+  const auto b = c.input_bus("b", 6);
+  const auto cmp = compare_unsigned(c, a, b);
+  LevelSim sim(c);
+  for (int av = 0; av < 64; ++av)
+    for (int bv = 0; bv < 64; ++bv) {
+      sim.set_bus(a, static_cast<u128>(av));
+      sim.set_bus(b, static_cast<u128>(bv));
+      sim.eval();
+      ASSERT_EQ(sim.value(cmp.eq), av == bv);
+      ASSERT_EQ(sim.value(cmp.lt), av < bv);
+    }
+}
+
+TEST(CompareUnsigned, WideRandom) {
+  Circuit c;
+  const auto a = c.input_bus("a", 64);
+  const auto b = c.input_bus("b", 64);
+  const auto cmp = compare_unsigned(c, a, b);
+  LevelSim sim(c);
+  std::mt19937_64 rng(9);
+  for (int t = 0; t < 2000; ++t) {
+    std::uint64_t av = rng(), bv = rng();
+    if (t % 3 == 0) bv = av;
+    if (t % 7 == 0) bv = av + 1;
+    sim.set_bus(a, av);
+    sim.set_bus(b, bv);
+    sim.eval();
+    ASSERT_EQ(sim.value(cmp.eq), av == bv);
+    ASSERT_EQ(sim.value(cmp.lt), av < bv);
+  }
+}
+
+// Han-Carlson and carry-select correctness (the generic adder tests cover
+// the other architectures; these two have their own code paths).
+class NewAdders : public ::testing::TestWithParam<int> {};
+
+TEST_P(NewAdders, HanCarlsonExhaustiveSmallRandomLarge) {
+  const int n = GetParam();
+  Circuit c;
+  const auto a = c.input_bus("a", n);
+  const auto b = c.input_bus("b", n);
+  const auto cin = c.input("cin");
+  const auto out = prefix_adder(c, a, b, cin, PrefixKind::HanCarlson);
+  LevelSim sim(c);
+  const u128 mask = (n >= 128) ? ~static_cast<u128>(0)
+                               : (static_cast<u128>(1) << n) - 1;
+  if (n <= 5) {
+    for (std::uint64_t av = 0; av < (1ull << n); ++av)
+      for (std::uint64_t bv = 0; bv < (1ull << n); ++bv)
+        for (int cv = 0; cv < 2; ++cv) {
+          sim.set_bus(a, av);
+          sim.set_bus(b, bv);
+          sim.set(cin, cv != 0);
+          sim.eval();
+          ASSERT_EQ(sim.read_bus(out.sum), (av + bv + cv) & mask);
+        }
+  } else {
+    std::mt19937_64 rng(n);
+    for (int t = 0; t < 500; ++t) {
+      u128 av = (static_cast<u128>(rng()) << 64 | rng()) & mask;
+      u128 bv = (static_cast<u128>(rng()) << 64 | rng()) & mask;
+      if (t % 5 == 0) bv = mask - av;  // long carries
+      const bool cv = rng() & 1;
+      sim.set_bus(a, av);
+      sim.set_bus(b, bv);
+      sim.set(cin, cv);
+      sim.eval();
+      ASSERT_EQ(sim.read_bus(out.sum), (av + bv + (cv ? 1 : 0)) & mask);
+    }
+  }
+}
+
+TEST_P(NewAdders, CarrySelectMatchesReference) {
+  const int n = GetParam();
+  for (int block : {1, 3, 8}) {
+    Circuit c;
+    const auto a = c.input_bus("a", n);
+    const auto b = c.input_bus("b", n);
+    const auto cin = c.input("cin");
+    const auto out = carry_select_adder(c, a, b, cin, block);
+    LevelSim sim(c);
+    const u128 mask = (n >= 128) ? ~static_cast<u128>(0)
+                                 : (static_cast<u128>(1) << n) - 1;
+    std::mt19937_64 rng(n * 10 + block);
+    for (int t = 0; t < 300; ++t) {
+      u128 av = (static_cast<u128>(rng()) << 64 | rng()) & mask;
+      u128 bv = (static_cast<u128>(rng()) << 64 | rng()) & mask;
+      if (t % 5 == 0) bv = mask - av;
+      const bool cv = rng() & 1;
+      sim.set_bus(a, av);
+      sim.set_bus(b, bv);
+      sim.set(cin, cv);
+      sim.eval();
+      const u128 want = av + bv + (cv ? 1 : 0);
+      ASSERT_EQ(sim.read_bus(out.sum), want & mask) << n << " " << block;
+      const bool want_cout =
+          n < 128 ? (want >> n) != 0
+                  : (want < av || (want == av && (bv != 0 || cv)));
+      ASSERT_EQ(sim.value(out.carry_out), want_cout);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, NewAdders,
+                         ::testing::Values(1, 2, 4, 5, 11, 24, 53, 64, 128));
+
+}  // namespace
+}  // namespace mfm::rtl
