@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_activity_breakdown"
+  "../bench/ablation_activity_breakdown.pdb"
+  "CMakeFiles/ablation_activity_breakdown.dir/ablation_activity_breakdown.cpp.o"
+  "CMakeFiles/ablation_activity_breakdown.dir/ablation_activity_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_activity_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_cpa_architecture"
+  "../bench/ablation_cpa_architecture.pdb"
+  "CMakeFiles/ablation_cpa_architecture.dir/ablation_cpa_architecture.cpp.o"
+  "CMakeFiles/ablation_cpa_architecture.dir/ablation_cpa_architecture.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cpa_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_ieee_rounding"
+  "../bench/ablation_ieee_rounding.pdb"
+  "CMakeFiles/ablation_ieee_rounding.dir/ablation_ieee_rounding.cpp.o"
+  "CMakeFiles/ablation_ieee_rounding.dir/ablation_ieee_rounding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ieee_rounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_ieee_rounding.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_radix8"
+  "../bench/ablation_radix8.pdb"
+  "CMakeFiles/ablation_radix8.dir/ablation_radix8.cpp.o"
+  "CMakeFiles/ablation_radix8.dir/ablation_radix8.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_radix8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_tree_style"
+  "../bench/ablation_tree_style.pdb"
+  "CMakeFiles/ablation_tree_style.dir/ablation_tree_style.cpp.o"
+  "CMakeFiles/ablation_tree_style.dir/ablation_tree_style.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tree_style.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

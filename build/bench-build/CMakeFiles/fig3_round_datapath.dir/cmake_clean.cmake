@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_round_datapath"
+  "../bench/fig3_round_datapath.pdb"
+  "CMakeFiles/fig3_round_datapath.dir/fig3_round_datapath.cpp.o"
+  "CMakeFiles/fig3_round_datapath.dir/fig3_round_datapath.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_round_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_dual_lane_array"
+  "../bench/fig4_dual_lane_array.pdb"
+  "CMakeFiles/fig4_dual_lane_array.dir/fig4_dual_lane_array.cpp.o"
+  "CMakeFiles/fig4_dual_lane_array.dir/fig4_dual_lane_array.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_dual_lane_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_pipeline_timing"
+  "../bench/fig5_pipeline_timing.pdb"
+  "CMakeFiles/fig5_pipeline_timing.dir/fig5_pipeline_timing.cpp.o"
+  "CMakeFiles/fig5_pipeline_timing.dir/fig5_pipeline_timing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_pipeline_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_fp64_to_fp32_reduction"
+  "../bench/fig6_fp64_to_fp32_reduction.pdb"
+  "CMakeFiles/fig6_fp64_to_fp32_reduction.dir/fig6_fp64_to_fp32_reduction.cpp.o"
+  "CMakeFiles/fig6_fp64_to_fp32_reduction.dir/fig6_fp64_to_fp32_reduction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_fp64_to_fp32_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

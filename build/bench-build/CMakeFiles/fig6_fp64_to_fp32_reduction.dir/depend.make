@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_fp64_to_fp32_reduction.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/model_throughput"
+  "../bench/model_throughput.pdb"
+  "CMakeFiles/model_throughput.dir/model_throughput.cpp.o"
+  "CMakeFiles/model_throughput.dir/model_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

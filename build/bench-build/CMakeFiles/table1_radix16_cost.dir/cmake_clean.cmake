@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_radix16_cost"
+  "../bench/table1_radix16_cost.pdb"
+  "CMakeFiles/table1_radix16_cost.dir/table1_radix16_cost.cpp.o"
+  "CMakeFiles/table1_radix16_cost.dir/table1_radix16_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_radix16_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

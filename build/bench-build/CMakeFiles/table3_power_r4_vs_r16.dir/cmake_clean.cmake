@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_power_r4_vs_r16"
+  "../bench/table3_power_r4_vs_r16.pdb"
+  "CMakeFiles/table3_power_r4_vs_r16.dir/table3_power_r4_vs_r16.cpp.o"
+  "CMakeFiles/table3_power_r4_vs_r16.dir/table3_power_r4_vs_r16.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_power_r4_vs_r16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table3_power_r4_vs_r16.
+# This may be replaced when dependencies are built.

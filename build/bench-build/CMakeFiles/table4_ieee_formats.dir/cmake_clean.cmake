@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_ieee_formats"
+  "../bench/table4_ieee_formats.pdb"
+  "CMakeFiles/table4_ieee_formats.dir/table4_ieee_formats.cpp.o"
+  "CMakeFiles/table4_ieee_formats.dir/table4_ieee_formats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_ieee_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_format_power"
+  "../bench/table5_format_power.pdb"
+  "CMakeFiles/table5_format_power.dir/table5_format_power.cpp.o"
+  "CMakeFiles/table5_format_power.dir/table5_format_power.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_format_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

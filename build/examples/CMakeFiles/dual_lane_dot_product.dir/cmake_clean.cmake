@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_lane_dot_product.dir/dual_lane_dot_product.cpp.o"
+  "CMakeFiles/dual_lane_dot_product.dir/dual_lane_dot_product.cpp.o.d"
+  "dual_lane_dot_product"
+  "dual_lane_dot_product.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_lane_dot_product.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dual_lane_dot_product.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_precision.dir/extended_precision.cpp.o"
+  "CMakeFiles/extended_precision.dir/extended_precision.cpp.o.d"
+  "extended_precision"
+  "extended_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

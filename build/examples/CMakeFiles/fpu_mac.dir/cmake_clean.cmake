@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpu_mac.dir/fpu_mac.cpp.o"
+  "CMakeFiles/fpu_mac.dir/fpu_mac.cpp.o.d"
+  "fpu_mac"
+  "fpu_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpu_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

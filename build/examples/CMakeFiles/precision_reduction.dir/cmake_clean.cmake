@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precision_reduction.dir/precision_reduction.cpp.o"
+  "CMakeFiles/precision_reduction.dir/precision_reduction.cpp.o.d"
+  "precision_reduction"
+  "precision_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precision_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_explorer.dir/unit_explorer.cpp.o"
+  "CMakeFiles/unit_explorer.dir/unit_explorer.cpp.o.d"
+  "unit_explorer"
+  "unit_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

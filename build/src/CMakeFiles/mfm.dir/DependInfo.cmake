@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arith/pparray.cpp" "src/CMakeFiles/mfm.dir/arith/pparray.cpp.o" "gcc" "src/CMakeFiles/mfm.dir/arith/pparray.cpp.o.d"
+  "/root/repo/src/arith/recode.cpp" "src/CMakeFiles/mfm.dir/arith/recode.cpp.o" "gcc" "src/CMakeFiles/mfm.dir/arith/recode.cpp.o.d"
+  "/root/repo/src/fp/format.cpp" "src/CMakeFiles/mfm.dir/fp/format.cpp.o" "gcc" "src/CMakeFiles/mfm.dir/fp/format.cpp.o.d"
+  "/root/repo/src/fp/softfloat.cpp" "src/CMakeFiles/mfm.dir/fp/softfloat.cpp.o" "gcc" "src/CMakeFiles/mfm.dir/fp/softfloat.cpp.o.d"
+  "/root/repo/src/mf/fp_reduce.cpp" "src/CMakeFiles/mfm.dir/mf/fp_reduce.cpp.o" "gcc" "src/CMakeFiles/mfm.dir/mf/fp_reduce.cpp.o.d"
+  "/root/repo/src/mf/mf_model.cpp" "src/CMakeFiles/mfm.dir/mf/mf_model.cpp.o" "gcc" "src/CMakeFiles/mfm.dir/mf/mf_model.cpp.o.d"
+  "/root/repo/src/mf/mf_unit.cpp" "src/CMakeFiles/mfm.dir/mf/mf_unit.cpp.o" "gcc" "src/CMakeFiles/mfm.dir/mf/mf_unit.cpp.o.d"
+  "/root/repo/src/mult/fp_adder.cpp" "src/CMakeFiles/mfm.dir/mult/fp_adder.cpp.o" "gcc" "src/CMakeFiles/mfm.dir/mult/fp_adder.cpp.o.d"
+  "/root/repo/src/mult/fp_multiplier.cpp" "src/CMakeFiles/mfm.dir/mult/fp_multiplier.cpp.o" "gcc" "src/CMakeFiles/mfm.dir/mult/fp_multiplier.cpp.o.d"
+  "/root/repo/src/mult/multiplier.cpp" "src/CMakeFiles/mfm.dir/mult/multiplier.cpp.o" "gcc" "src/CMakeFiles/mfm.dir/mult/multiplier.cpp.o.d"
+  "/root/repo/src/mult/ppgen.cpp" "src/CMakeFiles/mfm.dir/mult/ppgen.cpp.o" "gcc" "src/CMakeFiles/mfm.dir/mult/ppgen.cpp.o.d"
+  "/root/repo/src/netlist/circuit.cpp" "src/CMakeFiles/mfm.dir/netlist/circuit.cpp.o" "gcc" "src/CMakeFiles/mfm.dir/netlist/circuit.cpp.o.d"
+  "/root/repo/src/netlist/equiv.cpp" "src/CMakeFiles/mfm.dir/netlist/equiv.cpp.o" "gcc" "src/CMakeFiles/mfm.dir/netlist/equiv.cpp.o.d"
+  "/root/repo/src/netlist/power.cpp" "src/CMakeFiles/mfm.dir/netlist/power.cpp.o" "gcc" "src/CMakeFiles/mfm.dir/netlist/power.cpp.o.d"
+  "/root/repo/src/netlist/report.cpp" "src/CMakeFiles/mfm.dir/netlist/report.cpp.o" "gcc" "src/CMakeFiles/mfm.dir/netlist/report.cpp.o.d"
+  "/root/repo/src/netlist/sim_event.cpp" "src/CMakeFiles/mfm.dir/netlist/sim_event.cpp.o" "gcc" "src/CMakeFiles/mfm.dir/netlist/sim_event.cpp.o.d"
+  "/root/repo/src/netlist/sim_level.cpp" "src/CMakeFiles/mfm.dir/netlist/sim_level.cpp.o" "gcc" "src/CMakeFiles/mfm.dir/netlist/sim_level.cpp.o.d"
+  "/root/repo/src/netlist/techlib.cpp" "src/CMakeFiles/mfm.dir/netlist/techlib.cpp.o" "gcc" "src/CMakeFiles/mfm.dir/netlist/techlib.cpp.o.d"
+  "/root/repo/src/netlist/timing.cpp" "src/CMakeFiles/mfm.dir/netlist/timing.cpp.o" "gcc" "src/CMakeFiles/mfm.dir/netlist/timing.cpp.o.d"
+  "/root/repo/src/netlist/vcd.cpp" "src/CMakeFiles/mfm.dir/netlist/vcd.cpp.o" "gcc" "src/CMakeFiles/mfm.dir/netlist/vcd.cpp.o.d"
+  "/root/repo/src/netlist/verify.cpp" "src/CMakeFiles/mfm.dir/netlist/verify.cpp.o" "gcc" "src/CMakeFiles/mfm.dir/netlist/verify.cpp.o.d"
+  "/root/repo/src/netlist/verilog.cpp" "src/CMakeFiles/mfm.dir/netlist/verilog.cpp.o" "gcc" "src/CMakeFiles/mfm.dir/netlist/verilog.cpp.o.d"
+  "/root/repo/src/power/measure.cpp" "src/CMakeFiles/mfm.dir/power/measure.cpp.o" "gcc" "src/CMakeFiles/mfm.dir/power/measure.cpp.o.d"
+  "/root/repo/src/power/workloads.cpp" "src/CMakeFiles/mfm.dir/power/workloads.cpp.o" "gcc" "src/CMakeFiles/mfm.dir/power/workloads.cpp.o.d"
+  "/root/repo/src/rtl/adders.cpp" "src/CMakeFiles/mfm.dir/rtl/adders.cpp.o" "gcc" "src/CMakeFiles/mfm.dir/rtl/adders.cpp.o.d"
+  "/root/repo/src/rtl/mux.cpp" "src/CMakeFiles/mfm.dir/rtl/mux.cpp.o" "gcc" "src/CMakeFiles/mfm.dir/rtl/mux.cpp.o.d"
+  "/root/repo/src/rtl/pptree.cpp" "src/CMakeFiles/mfm.dir/rtl/pptree.cpp.o" "gcc" "src/CMakeFiles/mfm.dir/rtl/pptree.cpp.o.d"
+  "/root/repo/src/rtl/shifter.cpp" "src/CMakeFiles/mfm.dir/rtl/shifter.cpp.o" "gcc" "src/CMakeFiles/mfm.dir/rtl/shifter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

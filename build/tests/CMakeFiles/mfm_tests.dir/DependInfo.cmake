@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/arith_pparray_test.cpp" "tests/CMakeFiles/mfm_tests.dir/arith_pparray_test.cpp.o" "gcc" "tests/CMakeFiles/mfm_tests.dir/arith_pparray_test.cpp.o.d"
+  "/root/repo/tests/arith_recode_test.cpp" "tests/CMakeFiles/mfm_tests.dir/arith_recode_test.cpp.o" "gcc" "tests/CMakeFiles/mfm_tests.dir/arith_recode_test.cpp.o.d"
+  "/root/repo/tests/fault_injection_test.cpp" "tests/CMakeFiles/mfm_tests.dir/fault_injection_test.cpp.o" "gcc" "tests/CMakeFiles/mfm_tests.dir/fault_injection_test.cpp.o.d"
+  "/root/repo/tests/fp_add_test.cpp" "tests/CMakeFiles/mfm_tests.dir/fp_add_test.cpp.o" "gcc" "tests/CMakeFiles/mfm_tests.dir/fp_add_test.cpp.o.d"
+  "/root/repo/tests/fp_format_test.cpp" "tests/CMakeFiles/mfm_tests.dir/fp_format_test.cpp.o" "gcc" "tests/CMakeFiles/mfm_tests.dir/fp_format_test.cpp.o.d"
+  "/root/repo/tests/fp_softfloat_test.cpp" "tests/CMakeFiles/mfm_tests.dir/fp_softfloat_test.cpp.o" "gcc" "tests/CMakeFiles/mfm_tests.dir/fp_softfloat_test.cpp.o.d"
+  "/root/repo/tests/integration_sim_test.cpp" "tests/CMakeFiles/mfm_tests.dir/integration_sim_test.cpp.o" "gcc" "tests/CMakeFiles/mfm_tests.dir/integration_sim_test.cpp.o.d"
+  "/root/repo/tests/mf_dense_lane_test.cpp" "tests/CMakeFiles/mfm_tests.dir/mf_dense_lane_test.cpp.o" "gcc" "tests/CMakeFiles/mfm_tests.dir/mf_dense_lane_test.cpp.o.d"
+  "/root/repo/tests/mf_ieee_rounding_test.cpp" "tests/CMakeFiles/mfm_tests.dir/mf_ieee_rounding_test.cpp.o" "gcc" "tests/CMakeFiles/mfm_tests.dir/mf_ieee_rounding_test.cpp.o.d"
+  "/root/repo/tests/mf_model_test.cpp" "tests/CMakeFiles/mfm_tests.dir/mf_model_test.cpp.o" "gcc" "tests/CMakeFiles/mfm_tests.dir/mf_model_test.cpp.o.d"
+  "/root/repo/tests/mf_pipelined_reduction_test.cpp" "tests/CMakeFiles/mfm_tests.dir/mf_pipelined_reduction_test.cpp.o" "gcc" "tests/CMakeFiles/mfm_tests.dir/mf_pipelined_reduction_test.cpp.o.d"
+  "/root/repo/tests/mf_reduce_test.cpp" "tests/CMakeFiles/mfm_tests.dir/mf_reduce_test.cpp.o" "gcc" "tests/CMakeFiles/mfm_tests.dir/mf_reduce_test.cpp.o.d"
+  "/root/repo/tests/mf_rounding_corridor_test.cpp" "tests/CMakeFiles/mfm_tests.dir/mf_rounding_corridor_test.cpp.o" "gcc" "tests/CMakeFiles/mfm_tests.dir/mf_rounding_corridor_test.cpp.o.d"
+  "/root/repo/tests/mf_unit_test.cpp" "tests/CMakeFiles/mfm_tests.dir/mf_unit_test.cpp.o" "gcc" "tests/CMakeFiles/mfm_tests.dir/mf_unit_test.cpp.o.d"
+  "/root/repo/tests/mult_fp_adder_test.cpp" "tests/CMakeFiles/mfm_tests.dir/mult_fp_adder_test.cpp.o" "gcc" "tests/CMakeFiles/mfm_tests.dir/mult_fp_adder_test.cpp.o.d"
+  "/root/repo/tests/mult_fp_multiplier_test.cpp" "tests/CMakeFiles/mfm_tests.dir/mult_fp_multiplier_test.cpp.o" "gcc" "tests/CMakeFiles/mfm_tests.dir/mult_fp_multiplier_test.cpp.o.d"
+  "/root/repo/tests/mult_multiplier_test.cpp" "tests/CMakeFiles/mfm_tests.dir/mult_multiplier_test.cpp.o" "gcc" "tests/CMakeFiles/mfm_tests.dir/mult_multiplier_test.cpp.o.d"
+  "/root/repo/tests/netlist_circuit_test.cpp" "tests/CMakeFiles/mfm_tests.dir/netlist_circuit_test.cpp.o" "gcc" "tests/CMakeFiles/mfm_tests.dir/netlist_circuit_test.cpp.o.d"
+  "/root/repo/tests/netlist_equiv_test.cpp" "tests/CMakeFiles/mfm_tests.dir/netlist_equiv_test.cpp.o" "gcc" "tests/CMakeFiles/mfm_tests.dir/netlist_equiv_test.cpp.o.d"
+  "/root/repo/tests/netlist_power_test.cpp" "tests/CMakeFiles/mfm_tests.dir/netlist_power_test.cpp.o" "gcc" "tests/CMakeFiles/mfm_tests.dir/netlist_power_test.cpp.o.d"
+  "/root/repo/tests/netlist_sim_test.cpp" "tests/CMakeFiles/mfm_tests.dir/netlist_sim_test.cpp.o" "gcc" "tests/CMakeFiles/mfm_tests.dir/netlist_sim_test.cpp.o.d"
+  "/root/repo/tests/netlist_timing_test.cpp" "tests/CMakeFiles/mfm_tests.dir/netlist_timing_test.cpp.o" "gcc" "tests/CMakeFiles/mfm_tests.dir/netlist_timing_test.cpp.o.d"
+  "/root/repo/tests/netlist_tools_test.cpp" "tests/CMakeFiles/mfm_tests.dir/netlist_tools_test.cpp.o" "gcc" "tests/CMakeFiles/mfm_tests.dir/netlist_tools_test.cpp.o.d"
+  "/root/repo/tests/netlist_verilog_test.cpp" "tests/CMakeFiles/mfm_tests.dir/netlist_verilog_test.cpp.o" "gcc" "tests/CMakeFiles/mfm_tests.dir/netlist_verilog_test.cpp.o.d"
+  "/root/repo/tests/power_harness_test.cpp" "tests/CMakeFiles/mfm_tests.dir/power_harness_test.cpp.o" "gcc" "tests/CMakeFiles/mfm_tests.dir/power_harness_test.cpp.o.d"
+  "/root/repo/tests/property_invariants_test.cpp" "tests/CMakeFiles/mfm_tests.dir/property_invariants_test.cpp.o" "gcc" "tests/CMakeFiles/mfm_tests.dir/property_invariants_test.cpp.o.d"
+  "/root/repo/tests/rtl_adders_test.cpp" "tests/CMakeFiles/mfm_tests.dir/rtl_adders_test.cpp.o" "gcc" "tests/CMakeFiles/mfm_tests.dir/rtl_adders_test.cpp.o.d"
+  "/root/repo/tests/rtl_csa_tree_test.cpp" "tests/CMakeFiles/mfm_tests.dir/rtl_csa_tree_test.cpp.o" "gcc" "tests/CMakeFiles/mfm_tests.dir/rtl_csa_tree_test.cpp.o.d"
+  "/root/repo/tests/rtl_mux_test.cpp" "tests/CMakeFiles/mfm_tests.dir/rtl_mux_test.cpp.o" "gcc" "tests/CMakeFiles/mfm_tests.dir/rtl_mux_test.cpp.o.d"
+  "/root/repo/tests/rtl_shifter_test.cpp" "tests/CMakeFiles/mfm_tests.dir/rtl_shifter_test.cpp.o" "gcc" "tests/CMakeFiles/mfm_tests.dir/rtl_shifter_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mfm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
