@@ -58,6 +58,10 @@ int main() {
                 "multi-format unit",
                 "cost of format flexibility (Sec. III design choice)");
   const int vectors = power::bench_vectors(200);
+  const int threads = power::bench_threads();
+  std::printf("\nMonte-Carlo vectors per unit: %d, worker threads: %d\n"
+              "(override with MFM_BENCH_VECTORS / MFM_BENCH_THREADS)\n\n",
+              vectors, threads);
   const auto& lib = netlist::TechLib::lp45();
 
   bench::Table t;
@@ -75,12 +79,17 @@ int main() {
   const auto mfu = mf::build_mf_unit(comb);
   netlist::Sta sta(*mfu.circuit, lib);
   netlist::PowerModel pm(*mfu.circuit, lib);
-  const auto p64 = power::measure_mf(mfu, power::Workload::Fp64Random,
-                                     vectors, 880.0, 1);
+  const auto p64 = power::measure_mf_parallel(
+      mfu, power::Workload::Fp64Random, vectors, 880.0, 1, threads);
   t.row({"MFmult (int64+fp64+2xfp32)", bench::fmt("%.0f", pm.area_nand2()),
          bench::fmt("%.0f", sta.max_delay_ps()),
          bench::fmt("%.2f (fp64 stream)", p64.mw_100)});
   t.print();
+  std::printf("\nMFmult stream throughput: %.2f Mevents/s "
+              "(%llu events in %.2f s, %d threads)\n",
+              p64.events_per_s() / 1e6,
+              static_cast<unsigned long long>(p64.events), p64.wall_s,
+              threads);
 
   std::printf(
       "\nReadout: one shared 64x64 radix-16 array plus formatters costs\n"

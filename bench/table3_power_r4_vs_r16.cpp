@@ -10,14 +10,21 @@ using namespace mfm;
 
 namespace {
 
-double run(int g, mult::PipelineCut cut, int vectors) {
+std::uint64_t g_events = 0;
+double g_wall_s = 0.0;
+
+double run(int g, mult::PipelineCut cut, int vectors, int threads) {
   mult::MultiplierOptions o;
   o.n = 64;
   o.g = g;
   o.cut = cut;
   o.register_inputs = cut != mult::PipelineCut::None;
   const auto u = mult::build_multiplier(o);
-  return power::measure_multiplier(u, vectors, 100.0).total_mw();
+  const auto p =
+      power::measure_multiplier_parallel(u, vectors, 100.0, 0x5EED, threads);
+  g_events += p.events;
+  g_wall_s += p.wall_s;
+  return p.report.total_mw();
 }
 
 }  // namespace
@@ -27,14 +34,17 @@ int main() {
                 "combinational vs 2-stage pipelined",
                 "Table III (Sec. II-A)");
   const int vectors = power::bench_vectors(250);
+  const int threads = power::bench_threads();
   std::printf("\nMonte-Carlo vectors per configuration: %d "
-              "(override with MFM_BENCH_VECTORS)\n\n", vectors);
+              "(override with MFM_BENCH_VECTORS)\n", vectors);
+  std::printf("worker threads: %d (override with MFM_BENCH_THREADS; "
+              "results are thread-count invariant)\n\n", threads);
 
-  const double c4 = run(2, mult::PipelineCut::None, vectors);
-  const double c16 = run(4, mult::PipelineCut::None, vectors);
+  const double c4 = run(2, mult::PipelineCut::None, vectors, threads);
+  const double c16 = run(4, mult::PipelineCut::None, vectors, threads);
   // Matched two-stage cut: registers after PPGEN for both designs.
-  const double p4 = run(2, mult::PipelineCut::AfterPPGen, vectors);
-  const double p16 = run(4, mult::PipelineCut::AfterPPGen, vectors);
+  const double p4 = run(2, mult::PipelineCut::AfterPPGen, vectors, threads);
+  const double p16 = run(4, mult::PipelineCut::AfterPPGen, vectors, threads);
 
   bench::Table t;
   t.row({"implementation", "radix-4 [mW]", "radix-16 [mW]", "ratio",
@@ -50,13 +60,21 @@ int main() {
   bench::Table m;
   m.row({"cut", "radix-4", "radix-16"});
   m.row({"after recode (Fig. 5 style)",
-         bench::fmt("%.2f", run(2, mult::PipelineCut::AfterRecode, vectors)),
-         bench::fmt("%.2f", run(4, mult::PipelineCut::AfterRecode, vectors))});
+         bench::fmt("%.2f",
+                    run(2, mult::PipelineCut::AfterRecode, vectors, threads)),
+         bench::fmt("%.2f",
+                    run(4, mult::PipelineCut::AfterRecode, vectors, threads))});
   m.row({"after PPGEN", bench::fmt("%.2f", p4), bench::fmt("%.2f", p16)});
   m.row({"after TREE",
-         bench::fmt("%.2f", run(2, mult::PipelineCut::AfterTree, vectors)),
-         bench::fmt("%.2f", run(4, mult::PipelineCut::AfterTree, vectors))});
+         bench::fmt("%.2f",
+                    run(2, mult::PipelineCut::AfterTree, vectors, threads)),
+         bench::fmt("%.2f",
+                    run(4, mult::PipelineCut::AfterTree, vectors, threads))});
   m.print();
+  std::printf("\nsimulation throughput: %.2f Mevents/s "
+              "(%llu events in %.2f s, %d threads)\n",
+              g_wall_s > 0.0 ? g_events / g_wall_s / 1e6 : 0.0,
+              static_cast<unsigned long long>(g_events), g_wall_s, threads);
 
   std::printf(
       "\nShape checks vs paper: pipelining reduces power for both units\n"

@@ -13,8 +13,11 @@ int main() {
                 "(pipelined MFmult)",
                 "Table V (Sec. III-E)");
   const int vectors = power::bench_vectors(250);
+  const int threads = power::bench_threads();
   std::printf("\nMonte-Carlo vectors per format: %d "
               "(override with MFM_BENCH_VECTORS)\n", vectors);
+  std::printf("worker threads: %d (override with MFM_BENCH_THREADS; "
+              "results are thread-count invariant)\n", threads);
 
   const mf::MfUnit unit = mf::build_mf_unit();
   netlist::Sta sta(*unit.circuit, netlist::TechLib::lp45());
@@ -41,16 +44,24 @@ int main() {
   t.row({"format", "mW @100MHz", "(paper)", "mW @fmax", "GFLOPS",
          "GFLOPS/W", "(paper)"});
   double mw100[4];
+  std::uint64_t events = 0;
+  double wall_s = 0.0;
   int i = 0;
   for (const RowSpec& r : rows) {
-    const auto p =
-        power::measure_mf(unit, r.workload, vectors, fmax, r.ops_per_cycle);
+    const auto p = power::measure_mf_parallel(unit, r.workload, vectors,
+                                              fmax, r.ops_per_cycle, threads);
     mw100[i++] = p.mw_100;
+    events += p.events;
+    wall_s += p.wall_s;
     t.row({r.name, bench::fmt("%.2f", p.mw_100), r.paper_mw100,
            bench::fmt("%.1f", p.mw_fmax), bench::fmt("%.2f", p.gflops),
            bench::fmt("%.1f", p.gflops_per_w), r.paper_eff});
   }
   t.print();
+  std::printf("\nsimulation throughput: %.2f Mevents/s "
+              "(%llu events in %.2f s, %d threads)\n",
+              wall_s > 0.0 ? events / wall_s / 1e6 : 0.0,
+              static_cast<unsigned long long>(events), wall_s, threads);
 
   std::printf("\nActivity ratios (paper Sec. III-E):\n");
   bench::Table a;

@@ -1,12 +1,20 @@
 #include "arith/recode.h"
 
 #include <cassert>
+#include <stdexcept>
 
 namespace mfm::arith {
 
 std::vector<Digit> recode(std::uint64_t y, int n, int g) {
-  assert(g >= 1 && g <= 4);
-  assert(n >= g && n <= 64 && n % g == 0);
+  // Always-on validation (asserts vanish under NDEBUG).  n may exceed 64
+  // by up to g-1 bits: radix-8 recodes 64-bit operands zero-extended to
+  // n = 66, so the only hard requirement is that the top group's shift
+  // (n - g) stays inside the 64-bit word.
+  if (g < 1 || g > 4)
+    throw std::invalid_argument("recode: g must be in [1, 4]");
+  if (n < g || n % g != 0 || n - g >= 64)
+    throw std::invalid_argument(
+        "recode: n must be a multiple of g in [g, 63 + g]");
   const int groups = n / g;
   const int radix = 1 << g;
   const int half = radix / 2;

@@ -1,0 +1,26 @@
+// Minimal threading utilities for the Monte-Carlo measurement engine.
+//
+// parallel_for() fans a fixed index range out over a small worker pool.
+// Work items are claimed through an atomic counter, so scheduling is
+// nondeterministic -- callers that need reproducible results must make
+// each index's work self-contained (own RNG stream, own output slot) and
+// merge in index order afterwards.  That contract is what keeps the
+// sharded power engine bit-deterministic across thread counts.
+#pragma once
+
+#include <functional>
+
+namespace mfm::common {
+
+/// Number of hardware threads, clamped to at least 1 (the standard allows
+/// hardware_concurrency() to return 0 when unknown).
+int hardware_threads();
+
+/// Runs fn(i) for every i in [0, n) using up to @p threads workers.
+/// threads <= 1 (or n <= 1) runs inline on the calling thread with no
+/// thread machinery at all -- the legacy sequential path.  At most n
+/// threads are spawned.  If any invocation throws, the first exception is
+/// rethrown on the calling thread after all workers have stopped.
+void parallel_for(int n, int threads, const std::function<void(int)>& fn);
+
+}  // namespace mfm::common

@@ -1,5 +1,7 @@
 #include "netlist/power.h"
 
+#include <stdexcept>
+
 namespace mfm::netlist {
 
 namespace {
@@ -42,16 +44,24 @@ double PowerModel::area_um2() const {
 
 PowerReport PowerModel::report(const EventSim& sim, double freq_mhz,
                                int module_depth) const {
+  return report(sim.counts(), freq_mhz, module_depth);
+}
+
+PowerReport PowerModel::report(const ActivityCounts& counts, double freq_mhz,
+                               int module_depth) const {
   PowerReport r;
   r.freq_mhz = freq_mhz;
-  r.cycles = sim.cycles_run();
+  r.cycles = counts.cycles;
   if (r.cycles == 0) return r;
+  if (counts.toggles.size() != c_.size())
+    throw std::invalid_argument(
+        "PowerModel::report: activity counts are for a different circuit");
 
   const double period_ns = 1000.0 / freq_mhz;
   const double sim_time_ns = static_cast<double>(r.cycles) * period_ns;
 
   double total_fj = 0.0;
-  const auto& toggles = sim.toggles();
+  const auto& toggles = counts.toggles;
   for (NetId n = 0; n < c_.size(); ++n) {
     if (toggles[n] == 0) continue;
     const double e = static_cast<double>(toggles[n]) * net_energy_fj_[n];

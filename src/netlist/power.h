@@ -50,6 +50,13 @@ class PowerModel {
   PowerReport report(const EventSim& sim, double freq_mhz,
                      int module_depth = 2) const;
 
+  /// Same, from detached (possibly merged-across-shards) activity
+  /// counters.  Because the merged counts are integers and the energy sum
+  /// always runs in net order, the report is bit-identical however the
+  /// counts were produced.
+  PowerReport report(const ActivityCounts& counts, double freq_mhz,
+                     int module_depth = 2) const;
+
  private:
   const Circuit& c_;
   const TechLib& lib_;

@@ -1,10 +1,30 @@
 #include "netlist/sim_event.h"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+#include <string>
 
 namespace mfm::netlist {
+
+void ActivityCounts::merge(const ActivityCounts& o) {
+  if (toggles.empty()) {
+    toggles = o.toggles;
+  } else {
+    if (toggles.size() != o.toggles.size())
+      throw std::invalid_argument(
+          "ActivityCounts::merge: circuit size mismatch");
+    for (std::size_t i = 0; i < toggles.size(); ++i)
+      toggles[i] += o.toggles[i];
+  }
+  cycles += o.cycles;
+  events += o.events;
+}
+
+std::uint64_t ActivityCounts::total_toggles() const {
+  std::uint64_t sum = 0;
+  for (std::uint64_t t : toggles) sum += t;
+  return sum;
+}
 
 EventSim::EventSim(const Circuit& c, const TechLib& lib)
     : c_(c),
@@ -57,7 +77,12 @@ EventSim::EventSim(const Circuit& c, const TechLib& lib)
 }
 
 void EventSim::set(NetId input_net, bool v) {
-  assert(c_.gate(input_net).kind == GateKind::Input);
+  // Always-on check: under NDEBUG an assert would compile away and a
+  // non-Input NetId would silently corrupt staged_pi_.
+  if (input_net >= c_.size() || c_.gate(input_net).kind != GateKind::Input)
+    throw std::invalid_argument(
+        "EventSim::set: net " + std::to_string(input_net) +
+        " is not a primary input");
   staged_pi_[input_net] = v ? 1 : 0;
 }
 
@@ -127,7 +152,10 @@ void EventSim::cycle() {
 }
 
 u128 EventSim::read_bus(const Bus& bus) const {
-  assert(bus.size() <= 128);
+  if (bus.size() > 128)
+    throw std::invalid_argument(
+        "EventSim::read_bus: bus wider than 128 bits (" +
+        std::to_string(bus.size()) + ")");
   u128 v = 0;
   for (std::size_t i = 0; i < bus.size(); ++i)
     if (values_[bus[i]]) v |= static_cast<u128>(1) << i;
@@ -142,6 +170,28 @@ void EventSim::reset_counts() {
   std::fill(toggles_.begin(), toggles_.end(), 0);
   cycles_ = 0;
   events_ = 0;
+}
+
+ActivityCounts EventSim::counts() const {
+  ActivityCounts c;
+  c.toggles = toggles_;
+  c.cycles = cycles_;
+  c.events = events_;
+  return c;
+}
+
+void EventSim::merge_counts(ActivityCounts& into) const {
+  if (into.toggles.empty()) {
+    into.toggles = toggles_;
+  } else {
+    if (into.toggles.size() != toggles_.size())
+      throw std::invalid_argument(
+          "EventSim::merge_counts: circuit size mismatch");
+    for (std::size_t i = 0; i < toggles_.size(); ++i)
+      into.toggles[i] += toggles_[i];
+  }
+  into.cycles += cycles_;
+  into.events += events_;
 }
 
 }  // namespace mfm::netlist

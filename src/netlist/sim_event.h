@@ -20,6 +20,23 @@
 
 namespace mfm::netlist {
 
+/// Switching-activity counters accumulated by a simulation, detached from
+/// the simulator that produced them.  Counts are additive: merging the
+/// counts of independent simulations of the same circuit is equivalent to
+/// one simulation that saw all their cycles, which is what lets the
+/// sharded power engine split a Monte-Carlo budget across threads and
+/// still feed one PowerModel::report.
+struct ActivityCounts {
+  std::vector<std::uint64_t> toggles;  ///< per-net transition counts
+  std::uint64_t cycles = 0;
+  std::uint64_t events = 0;  ///< simulator events processed
+
+  /// Element-wise accumulate @p o (size() must match or this be empty).
+  void merge(const ActivityCounts& o);
+  /// Sum of all per-net transition counts.
+  std::uint64_t total_toggles() const;
+};
+
 /// Event-driven two-valued simulator over a frozen Circuit.
 ///
 /// Usage per clock cycle:
@@ -48,6 +65,12 @@ class EventSim {
   std::uint64_t cycles_run() const { return cycles_; }
   std::uint64_t events_processed() const { return events_; }
   void reset_counts();
+
+  /// Snapshot of the accumulated activity counters.
+  ActivityCounts counts() const;
+  /// Accumulates this simulator's counters into @p into (cheap: one
+  /// vector add; @p into may be default-constructed).
+  void merge_counts(ActivityCounts& into) const;
 
  private:
   void seed_change(NetId net, bool v, double at_ps);

@@ -1,6 +1,16 @@
 // Power measurement loops: drive a unit with a workload through the
 // event-driven simulator and report power / throughput / efficiency the
 // way the paper's tables do.
+//
+// The Monte-Carlo vector budget is split into fixed-size shards.  Each
+// shard owns a private EventSim and an OperandGen seeded from (seed,
+// shard index) only, so the operand stream -- and therefore every toggle
+// count -- is a pure function of the shard decomposition, never of thread
+// scheduling.  Per-net transition counts are additive, so the shards'
+// ActivityCounts merge (in shard order) into one PowerModel::report.
+// Consequence: measure_mf / measure_mf_parallel produce bit-identical
+// toggle totals and mW figures for any thread count, including the
+// sequential path.
 #pragma once
 
 #include <cstdint>
@@ -13,8 +23,21 @@
 namespace mfm::power {
 
 /// Number of Monte-Carlo vectors used by benches; overridable through the
-/// MFM_BENCH_VECTORS environment variable (default @p fallback).
+/// MFM_BENCH_VECTORS environment variable (default @p fallback).  A
+/// malformed or non-positive value is rejected with a warning on stderr.
 int bench_vectors(int fallback = 200);
+
+/// Number of worker threads used by benches; overridable through the
+/// MFM_BENCH_THREADS environment variable.  Default (no env var,
+/// @p fallback = 0): hardware concurrency.  1 selects the legacy
+/// sequential path (no thread machinery).  Malformed values warn on
+/// stderr and fall back.
+int bench_threads(int fallback = 0);
+
+/// Vectors per shard of the sharded engine.  Fixed -- NOT derived from
+/// the thread count -- so the shard decomposition (and the merged toggle
+/// totals) are identical no matter how many workers execute the shards.
+inline constexpr int kShardVectors = 32;
 
 /// Table-V-style figures for one format/workload on one unit.
 struct FormatPower {
@@ -24,19 +47,49 @@ struct FormatPower {
   double fmax_mhz = 0.0;
   double gflops = 0.0;        ///< throughput at fmax (0 for int64)
   double gflops_per_w = 0.0;  ///< power efficiency at fmax
+  std::uint64_t toggles = 0;  ///< merged per-net transition total
+  std::uint64_t events = 0;   ///< simulator events processed
+  double wall_s = 0.0;        ///< measurement wall-clock [s]
+  double events_per_s() const { return wall_s > 0.0 ? events / wall_s : 0.0; }
 };
 
 /// Runs @p vectors operand pairs of @p workload through a multi-format
 /// unit (one issue per cycle) and reports power at 100 MHz plus
 /// fmax-scaled efficiency.  @p ops_per_cycle: 1 (int64/fp64/fp32 single)
-/// or 2 (fp32 dual).
+/// or 2 (fp32 dual).  Sequential: equivalent to measure_mf_parallel with
+/// threads = 1 (and bit-identical to it at any thread count).
 FormatPower measure_mf(const mf::MfUnit& unit, Workload workload,
                        int vectors, double fmax_mhz, int ops_per_cycle);
 
+/// Sharded multi-threaded version of measure_mf.  @p threads = 0 uses
+/// bench_threads(); 1 runs inline on the calling thread.  Merged toggle
+/// totals and all derived power figures are bit-identical across thread
+/// counts (see file comment).
+FormatPower measure_mf_parallel(const mf::MfUnit& unit, Workload workload,
+                                int vectors, double fmax_mhz,
+                                int ops_per_cycle, int threads = 0);
+
+/// Power report plus throughput counters for a plain multiplier run.
+struct MultiplierPower {
+  netlist::PowerReport report;
+  std::uint64_t toggles = 0;  ///< merged per-net transition total
+  std::uint64_t events = 0;   ///< simulator events processed
+  double wall_s = 0.0;        ///< measurement wall-clock [s]
+  double events_per_s() const { return wall_s > 0.0 ? events / wall_s : 0.0; }
+};
+
 /// Runs uniform random vectors through a plain n x n multiplier and
 /// returns its power report at @p freq_mhz (Table III measurements).
+/// Sequential wrapper over measure_multiplier_parallel (threads = 1).
 netlist::PowerReport measure_multiplier(const mult::MultiplierUnit& unit,
                                         int vectors, double freq_mhz,
                                         std::uint64_t seed = 0x5EED);
+
+/// Sharded multi-threaded multiplier measurement; same determinism
+/// contract as measure_mf_parallel.
+MultiplierPower measure_multiplier_parallel(const mult::MultiplierUnit& unit,
+                                            int vectors, double freq_mhz,
+                                            std::uint64_t seed = 0x5EED,
+                                            int threads = 0);
 
 }  // namespace mfm::power

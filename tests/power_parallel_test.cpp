@@ -1,0 +1,233 @@
+// Sharded measurement-engine tests: the determinism contract (merged
+// toggle totals and every PowerReport field are bit-identical across
+// thread counts and equal to the sequential path), the parallel_for
+// utility, the env parsing fixes, and the always-on EventSim guards.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+
+#include "common/parallel.h"
+#include "mf/mf_unit.h"
+#include "mult/multiplier.h"
+#include "netlist/sim_event.h"
+#include "power/measure.h"
+#include "power/workloads.h"
+
+namespace mfm::power {
+namespace {
+
+void expect_identical(const FormatPower& a, const FormatPower& b) {
+  EXPECT_EQ(a.toggles, b.toggles);
+  EXPECT_EQ(a.events, b.events);
+  // Bit-exact double comparisons are intentional: the merged integer
+  // counts are identical and the report sums energies in net order, so
+  // every derived figure must match exactly, not just approximately.
+  EXPECT_EQ(a.mw_100, b.mw_100);
+  EXPECT_EQ(a.mw_fmax, b.mw_fmax);
+  EXPECT_EQ(a.gflops, b.gflops);
+  EXPECT_EQ(a.gflops_per_w, b.gflops_per_w);
+  EXPECT_EQ(a.at_100mhz.dynamic_mw, b.at_100mhz.dynamic_mw);
+  EXPECT_EQ(a.at_100mhz.clock_mw, b.at_100mhz.clock_mw);
+  EXPECT_EQ(a.at_100mhz.leakage_mw, b.at_100mhz.leakage_mw);
+  EXPECT_EQ(a.at_100mhz.cycles, b.at_100mhz.cycles);
+  EXPECT_EQ(a.at_100mhz.by_module_mw, b.at_100mhz.by_module_mw);
+}
+
+TEST(MeasureParallel, BitIdenticalAcrossThreadCountsAllFormats) {
+  const mf::MfUnit unit = mf::build_mf_unit();
+  // 80 vectors -> 3 shards (32/32/16): exercises thread counts below,
+  // equal to, and above the shard count.
+  const int vectors = 80;
+  const struct {
+    Workload w;
+    int ops;
+  } cases[] = {{Workload::Uniform64, 1},
+               {Workload::Fp64Random, 1},
+               {Workload::Fp32DualRandom, 2},
+               {Workload::Fp32SingleRandom, 1}};
+  for (const auto& c : cases) {
+    const FormatPower seq = measure_mf(unit, c.w, vectors, 880.0, c.ops);
+    EXPECT_EQ(seq.at_100mhz.cycles, static_cast<std::uint64_t>(vectors));
+    EXPECT_GT(seq.toggles, 0u);
+    for (int threads : {1, 2, 4}) {
+      const FormatPower par =
+          measure_mf_parallel(unit, c.w, vectors, 880.0, c.ops, threads);
+      SCOPED_TRACE(workload_name(c.w) + " threads=" +
+                   std::to_string(threads));
+      expect_identical(seq, par);
+    }
+  }
+}
+
+TEST(MeasureParallel, MultiplierBitIdenticalAcrossThreadCounts) {
+  mult::MultiplierOptions o;
+  o.n = 16;
+  o.g = 2;
+  const auto unit = mult::build_multiplier(o);
+  const int vectors = 80;
+  const MultiplierPower seq =
+      measure_multiplier_parallel(unit, vectors, 100.0, 0x5EED, 1);
+  EXPECT_EQ(seq.report.total_mw(),
+            measure_multiplier(unit, vectors, 100.0).total_mw());
+  for (int threads : {2, 4}) {
+    const MultiplierPower par =
+        measure_multiplier_parallel(unit, vectors, 100.0, 0x5EED, threads);
+    EXPECT_EQ(seq.toggles, par.toggles);
+    EXPECT_EQ(seq.events, par.events);
+    EXPECT_EQ(seq.report.dynamic_mw, par.report.dynamic_mw);
+    EXPECT_EQ(seq.report.clock_mw, par.report.clock_mw);
+    EXPECT_EQ(seq.report.leakage_mw, par.report.leakage_mw);
+    EXPECT_EQ(seq.report.cycles, par.report.cycles);
+  }
+}
+
+TEST(MeasureParallel, SeedReachesEveryShard) {
+  // Changing the base seed must change the per-shard operand streams
+  // (shard seeds are a function of the base seed, not just the index).
+  mult::MultiplierOptions o;
+  o.n = 16;
+  o.g = 2;
+  const auto unit = mult::build_multiplier(o);
+  const MultiplierPower a =
+      measure_multiplier_parallel(unit, 64, 100.0, /*seed=*/1, 2);
+  const MultiplierPower b =
+      measure_multiplier_parallel(unit, 64, 100.0, /*seed=*/2, 2);
+  EXPECT_NE(a.toggles, b.toggles);  // seed reaches every shard
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 9}) {
+    std::set<int> seen;
+    std::mutex mu;
+    std::atomic<int> calls{0};
+    common::parallel_for(37, threads, [&](int i) {
+      calls.fetch_add(1);
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(i);
+    });
+    EXPECT_EQ(calls.load(), 37);
+    EXPECT_EQ(seen.size(), 37u);
+    EXPECT_EQ(*seen.begin(), 0);
+    EXPECT_EQ(*seen.rbegin(), 36);
+  }
+  // Empty and single-element ranges.
+  int hits = 0;
+  common::parallel_for(0, 4, [&](int) { ++hits; });
+  EXPECT_EQ(hits, 0);
+  common::parallel_for(1, 4, [&](int) { ++hits; });
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(ParallelFor, PropagatesWorkerExceptions) {
+  for (int threads : {1, 4}) {
+    EXPECT_THROW(
+        common::parallel_for(16, threads,
+                             [&](int i) {
+                               if (i == 7)
+                                 throw std::runtime_error("boom");
+                             }),
+        std::runtime_error);
+  }
+}
+
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    setenv(name, value, 1);
+  }
+  ~EnvGuard() { unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(Measure, BenchVectorsRejectsMalformedValues) {
+  {
+    EnvGuard e("MFM_BENCH_VECTORS", "2k");  // atoi would yield 2
+    EXPECT_EQ(bench_vectors(200), 200);
+  }
+  {
+    EnvGuard e("MFM_BENCH_VECTORS", "-5");
+    EXPECT_EQ(bench_vectors(200), 200);
+  }
+  {
+    EnvGuard e("MFM_BENCH_VECTORS", "nope");
+    EXPECT_EQ(bench_vectors(200), 200);
+  }
+  {
+    EnvGuard e("MFM_BENCH_VECTORS", "99999999999999999999");
+    EXPECT_EQ(bench_vectors(200), 200);
+  }
+  {
+    EnvGuard e("MFM_BENCH_VECTORS", "2000");
+    EXPECT_EQ(bench_vectors(200), 2000);
+  }
+}
+
+TEST(Measure, BenchThreadsEnvOverride) {
+  EXPECT_GE(bench_threads(), 1);  // default: hardware concurrency
+  {
+    EnvGuard e("MFM_BENCH_THREADS", "3");
+    EXPECT_EQ(bench_threads(), 3);
+  }
+  {
+    EnvGuard e("MFM_BENCH_THREADS", "zero");
+    EXPECT_GE(bench_threads(), 1);
+  }
+}
+
+TEST(EventSimGuards, SetOnNonInputThrowsEvenInRelease) {
+  mult::MultiplierOptions o;
+  o.n = 16;
+  o.g = 2;
+  const auto unit = mult::build_multiplier(o);
+  netlist::EventSim sim(*unit.circuit, netlist::TechLib::lp45());
+  // The product bus nets are gate outputs, not primary inputs.
+  EXPECT_THROW(sim.set(unit.p.back(), true), std::invalid_argument);
+  EXPECT_THROW(sim.set(static_cast<netlist::NetId>(unit.circuit->size()),
+                       true),
+               std::invalid_argument);
+  // Valid input still works.
+  EXPECT_NO_THROW(sim.set(unit.x.front(), true));
+}
+
+TEST(EventSimGuards, ReadBusWiderThan128Throws) {
+  mult::MultiplierOptions o;
+  o.n = 16;
+  o.g = 2;
+  const auto unit = mult::build_multiplier(o);
+  netlist::EventSim sim(*unit.circuit, netlist::TechLib::lp45());
+  netlist::Bus wide(129, unit.x.front());
+  EXPECT_THROW(sim.read_bus(wide), std::invalid_argument);
+  EXPECT_NO_THROW(sim.read_bus(unit.p));
+}
+
+TEST(ActivityCounts, MergeIsAdditiveAndSizeChecked) {
+  netlist::ActivityCounts a, b;
+  a.toggles = {1, 2, 3};
+  a.cycles = 10;
+  a.events = 5;
+  b.toggles = {10, 20, 30};
+  b.cycles = 1;
+  b.events = 2;
+  a.merge(b);
+  EXPECT_EQ(a.toggles, (std::vector<std::uint64_t>{11, 22, 33}));
+  EXPECT_EQ(a.cycles, 11u);
+  EXPECT_EQ(a.events, 7u);
+  EXPECT_EQ(a.total_toggles(), 66u);
+
+  netlist::ActivityCounts empty;
+  empty.merge(b);  // merging into empty adopts the size
+  EXPECT_EQ(empty.toggles, b.toggles);
+
+  netlist::ActivityCounts wrong;
+  wrong.toggles = {1, 2};
+  EXPECT_THROW(wrong.merge(b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mfm::power
