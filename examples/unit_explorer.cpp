@@ -20,8 +20,8 @@
 #include "mfm.h"
 #include "mult/fp_adder.h"
 #include "mult/fp_multiplier.h"
+#include "netlist/lint.h"
 #include "netlist/vcd.h"
-#include "netlist/verify.h"
 
 using namespace mfm;
 
@@ -30,8 +30,8 @@ namespace {
 void report(const char* name, const netlist::Circuit& c,
             double power_mw = -1.0) {
   const auto& lib = netlist::TechLib::lp45();
-  std::vector<std::string> findings;
-  const auto st = netlist::verify_circuit(c, &findings);
+  const auto lint = netlist::lint_circuit(c);
+  const auto& st = lint.structure;
   netlist::Sta sta(c, lib);
   netlist::PowerModel pm(c, lib);
   std::printf("%-24s %7zu gates %5zu flops  depth %3d  %7.0f NAND2  "
@@ -39,7 +39,11 @@ void report(const char* name, const netlist::Circuit& c,
               name, st.combinational, st.flops, st.max_logic_depth,
               pm.area_nand2(), sta.max_delay_ps(), sta.max_delay_fo4());
   if (power_mw >= 0) std::printf("  %5.2f mW@100", power_mw);
-  std::printf("  %s\n", findings.empty() ? "[verified]" : "[STRUCTURE BAD]");
+  if (!lint.clean())
+    std::printf("  [STRUCTURE BAD: %zu errors]\n", lint.errors);
+  else
+    std::printf("  [lint clean; %zu dup, %zu unobservable]\n",
+                lint.duplicate_gates, lint.unobservable_gates);
 }
 
 double quick_power(const netlist::Circuit& c, const netlist::Bus& a,

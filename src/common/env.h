@@ -1,0 +1,32 @@
+// Environment-variable parsing shared by the measurement tools.
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mfm::common {
+
+/// Parses an environment variable as a strictly positive int.  Unlike
+/// atoi, trailing junk ("2k"), overflow, and non-numeric input are
+/// rejected -- with a warning, since silently measuring 200 vectors when
+/// the user asked for "2k" invalidates the experiment they thought they
+/// ran.  Returns @p fallback when unset or invalid.
+inline int env_positive_int(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  if (!env || *env == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(env, &end, 10);
+  if (errno != 0 || end == env || *end != '\0' || v <= 0 || v > INT32_MAX) {
+    std::fprintf(stderr,
+                 "warning: %s='%s' is not a positive integer; "
+                 "using default %d\n",
+                 name, env, fallback);
+    return fallback;
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace mfm::common

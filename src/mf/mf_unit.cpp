@@ -226,8 +226,11 @@ MfUnit build_mf_unit(const MfOptions& options) {
   }
 
   auto digits = mult::build_recoder(c, y, 4);
+  // Split the odd-multiple adders at the lane boundary so dual-mode upper
+  // bits never structurally depend on the lower operand (lane isolation).
   auto multiples =
-      mult::build_multiples(c, x, 4, rtl::PrefixKind::BrentKung);
+      mult::build_multiples(c, x, 4, rtl::PrefixKind::BrentKung,
+                            rtl::LaneBarrier{32, is_dual});
 
   // Sign and exponent handling, first half (Fig. 5 "Exp add").  The 11-bit
   // path is shared by binary64 and the upper binary32 lane; the lower lane

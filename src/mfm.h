@@ -19,6 +19,7 @@
 
 #include "arith/pparray.h"
 #include "arith/recode.h"
+#include "common/env.h"
 #include "common/u128.h"
 #include "fp/format.h"
 #include "fp/softfloat.h"
@@ -32,11 +33,14 @@
 #include "netlist/bus.h"
 #include "netlist/circuit.h"
 #include "netlist/equiv.h"
+#include "netlist/lint.h"
 #include "netlist/power.h"
 #include "netlist/report.h"
 #include "netlist/sim_event.h"
 #include "netlist/sim_level.h"
+#include "netlist/structural_hash.h"
 #include "netlist/techlib.h"
+#include "netlist/ternary.h"
 #include "netlist/timing.h"
 #include "netlist/vcd.h"
 #include "netlist/verify.h"

@@ -54,13 +54,41 @@ std::vector<DigitNets> build_recoder(Circuit& c, const Bus& y, int g) {
   return out;
 }
 
-std::vector<Bus> build_multiples(Circuit& c, const Bus& x, int g,
-                                 rtl::PrefixKind adder_kind) {
+std::vector<Bus> build_multiples(
+    Circuit& c, const Bus& x, int g, rtl::PrefixKind adder_kind,
+    const std::optional<rtl::LaneBarrier>& barrier) {
   const int n = static_cast<int>(x.size());
   const int width = n + g - 1;  // enc' width
   const int half = 1 << (g - 1);
 
   Circuit::Scope scope(c, "precomp");
+
+  // Odd-multiple adder, split at the lane barrier when one is given.  The
+  // carry crossing the boundary is numerically fixed in dual mode (the
+  // gap columns are zeroed), so forcing it to that constant under
+  // barrier.kill changes nothing dynamically while cutting the structural
+  // lower-to-upper-lane dependency.  cross_one: the dual-mode value of
+  // that carry (1 only for 7X = 8X + ~X + 1, where the all-ones gap of ~X
+  // makes the low half wrap).
+  auto odd_adder = [&](const Bus& a, const Bus& b, NetId cin,
+                       bool cross_one) -> Bus {
+    if (!barrier || barrier->boundary <= 0 || barrier->boundary >= width)
+      return rtl::prefix_adder(c, a, b, cin, adder_kind).sum;
+    const auto bnd = static_cast<std::size_t>(barrier->boundary);
+    const Bus alo(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(bnd));
+    const Bus ahi(a.begin() + static_cast<std::ptrdiff_t>(bnd), a.end());
+    const Bus blo(b.begin(), b.begin() + static_cast<std::ptrdiff_t>(bnd));
+    const Bus bhi(b.begin() + static_cast<std::ptrdiff_t>(bnd), b.end());
+    const rtl::AdderOut lo = rtl::prefix_adder(c, alo, blo, cin, adder_kind);
+    const NetId cin_hi =
+        cross_one ? c.mux2(lo.carry_out, c.const1(), barrier->kill)
+                  : c.andnot2(lo.carry_out, barrier->kill);
+    Bus sum = lo.sum;
+    const Bus hi = rtl::prefix_adder(c, ahi, bhi, cin_hi, adder_kind).sum;
+    sum.insert(sum.end(), hi.begin(), hi.end());
+    return sum;
+  };
+
   std::vector<Bus> m(static_cast<std::size_t>(half) + 1);
   auto shifted = [&](int sh) {
     return netlist::shift_left(c, x, sh, width);
@@ -70,12 +98,12 @@ std::vector<Bus> build_multiples(Circuit& c, const Bus& x, int g,
   if (half >= 2) m[2] = shifted(1);
   if (half >= 4) {
     // 3X = X + 2X.
-    m[3] = rtl::prefix_adder(c, m[1], m[2], c.const0(), adder_kind).sum;
+    m[3] = odd_adder(m[1], m[2], c.const0(), false);
     m[4] = shifted(2);
   }
   if (half >= 8) {
     // 5X = X + 4X.
-    m[5] = rtl::prefix_adder(c, m[1], m[4], c.const0(), adder_kind).sum;
+    m[5] = odd_adder(m[1], m[4], c.const0(), false);
     // 6X = 3X << 1.
     m[6] = netlist::shift_left(c, m[3], 1, width);
     // 7X = 8X - X = 8X + ~X + 1.
@@ -83,7 +111,7 @@ std::vector<Bus> build_multiples(Circuit& c, const Bus& x, int g,
     for (int i = 0; i < width; ++i)
       not_x[static_cast<std::size_t>(i)] =
           i < n ? c.not_(x[static_cast<std::size_t>(i)]) : c.const1();
-    m[7] = rtl::prefix_adder(c, shifted(3), not_x, c.const1(), adder_kind).sum;
+    m[7] = odd_adder(shifted(3), not_x, c.const1(), true);
     m[8] = shifted(3);
   }
   return m;

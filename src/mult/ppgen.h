@@ -7,6 +7,7 @@
 // arith/pparray.h; tests assert netlist == word model bit for bit.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "netlist/bus.h"
@@ -36,8 +37,18 @@ std::vector<DigitNets> build_recoder(Circuit& c, const Bus& y, int g);
 /// Even multiples are wiring; odd multiples (3X, 5X, 7X) use
 /// carry-propagate adders of the given prefix kind in a "precomp" scope
 /// (paper Sec. II: 3X = X + 2X, 5X = X + 4X, 7X = 8X - X).
-std::vector<Bus> build_multiples(Circuit& c, const Bus& x, int g,
-                                 rtl::PrefixKind adder_kind);
+///
+/// With @p barrier set, the odd-multiple adders are split at
+/// barrier.boundary and the carry crossing it is forced to its
+/// dual-lane-mode constant when barrier.kill is high (0 for 3X/5X; 1 for
+/// 7X, whose ~X gap bits make the low half always overflow).  With the
+/// gap columns zeroed that carry takes the forced value anyway, so the
+/// multiples are unchanged in every mode -- but the upper-lane bits
+/// become structurally independent of the lower lane, which is what the
+/// lane-isolation lint proof needs (paper Fig. 4 sectioning).
+std::vector<Bus> build_multiples(
+    Circuit& c, const Bus& x, int g, rtl::PrefixKind adder_kind,
+    const std::optional<rtl::LaneBarrier>& barrier = std::nullopt);
 
 /// Selects |d|*X for one digit and conditionally complements it:
 /// returns enc' = (sign ? ~mag : mag), an (n+g-1)-bit bus.

@@ -13,15 +13,29 @@ Circuit::Circuit() {
 
 NetId Circuit::add(GateKind k, NetId a, NetId b, NetId c, NetId d) {
   const int nin = fanin_count(k);
-  assert(nin < 1 || (a != kNoNet && a < gates_.size()));
-  assert(nin < 2 || (b != kNoNet && b < gates_.size()));
-  assert(nin < 3 || (c != kNoNet && c < gates_.size()));
-  assert(nin < 4 || (d != kNoNet && d < gates_.size()));
-  (void)nin;
+  const std::array<NetId, 4> in = {a, b, c, d};
+  for (int p = 0; p < 4; ++p) {
+    const NetId n = in[static_cast<std::size_t>(p)];
+    if (p < nin) {
+      if (n == kNoNet || n >= gates_.size())
+        throw std::invalid_argument(
+            std::string(gate_name(k)) + ": fan-in " + std::to_string(p) +
+            " out of range (net " + std::to_string(n) + " of " +
+            std::to_string(gates_.size()) + ")");
+    } else if (n != kNoNet) {
+      throw std::invalid_argument(std::string(gate_name(k)) +
+                                  ": unused fan-in slot " + std::to_string(p) +
+                                  " must be kNoNet");
+    }
+  }
+  return add_raw(k, in);
+}
+
+NetId Circuit::add_raw(GateKind k, const std::array<NetId, 4>& in) {
   Gate g;
   g.kind = k;
   g.module = current_module_;
-  g.in = {a, b, c, d};
+  g.in = in;
   const NetId id = static_cast<NetId>(gates_.size());
   gates_.push_back(g);
   if (k == GateKind::Input) inputs_.push_back(id);
@@ -43,11 +57,19 @@ Bus Circuit::input_bus(const std::string& name, int width) {
 }
 
 void Circuit::output(const std::string& name, NetId net) {
-  assert(net < gates_.size());
-  out_ports_[name] = Bus{net};
+  output_bus(name, Bus{net});
 }
 
 void Circuit::output_bus(const std::string& name, const Bus& bus) {
+  for (const NetId n : bus)
+    if (n >= gates_.size())
+      throw std::out_of_range("output port '" + name +
+                              "' references out-of-range net " +
+                              std::to_string(n));
+  out_ports_[name] = bus;
+}
+
+void Circuit::output_raw(const std::string& name, const Bus& bus) {
   out_ports_[name] = bus;
 }
 

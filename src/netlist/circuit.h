@@ -7,7 +7,7 @@
 // strings used by area/timing/power reports.
 #pragma once
 
-#include <cassert>
+#include <array>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -28,9 +28,19 @@ class Circuit {
 
   // ---- construction ------------------------------------------------------
 
-  /// Adds a gate and returns the id of its output net.
+  /// Adds a gate and returns the id of its output net.  Throws
+  /// std::invalid_argument when a used fan-in slot is out of range or an
+  /// unused slot is not kNoNet, in debug and release builds alike: a bad
+  /// reference caught here costs one string; caught by the simulator it is
+  /// a wrong power figure.
   NetId add(GateKind k, NetId a = kNoNet, NetId b = kNoNet, NetId c = kNoNet,
             NetId d = kNoNet);
+
+  /// Unchecked add() for deserializers and lint tests that must be able to
+  /// construct malformed circuits on purpose.  Keeps the input/flop
+  /// bookkeeping consistent; everything else is the caller's problem --
+  /// run verify_circuit()/lint_circuit() before trusting the result.
+  NetId add_raw(GateKind k, const std::array<NetId, 4>& in);
 
   NetId const0() const { return const0_; }
   NetId const1() const { return const1_; }
@@ -42,10 +52,13 @@ class Circuit {
   /// Creates a named @p width bit primary input bus (LSB first).
   Bus input_bus(const std::string& name, int width);
 
-  /// Declares @p net as the named primary output @p name.
+  /// Declares @p net as the named primary output @p name.  Throws
+  /// std::out_of_range when the net does not exist.
   void output(const std::string& name, NetId net);
-  /// Declares a named primary output bus.
+  /// Declares a named primary output bus; range-checks every net.
   void output_bus(const std::string& name, const Bus& bus);
+  /// Unchecked output_bus() counterpart of add_raw().
+  void output_raw(const std::string& name, const Bus& bus);
 
   // Convenience builders.
   NetId buf(NetId a) { return add(GateKind::Buf, a); }

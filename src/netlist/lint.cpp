@@ -1,0 +1,712 @@
+#include "netlist/lint.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <sstream>
+
+#include "netlist/structural_hash.h"
+
+namespace mfm::netlist {
+
+std::string_view lint_rule_name(LintRule r) {
+  switch (r) {
+    case LintRule::kStructure: return "structure";
+    case LintRule::kConstant: return "constant";
+    case LintRule::kLaneIsolation: return "lane-isolation";
+    case LintRule::kDuplicate: return "duplicate";
+    case LintRule::kUnobservable: return "unobservable";
+    case LintRule::kFanout: return "fanout";
+  }
+  return "?";
+}
+
+std::string_view lint_severity_name(LintSeverity s) {
+  switch (s) {
+    case LintSeverity::kInfo: return "info";
+    case LintSeverity::kWarning: return "warning";
+    case LintSeverity::kError: return "error";
+  }
+  return "?";
+}
+
+namespace {
+
+using enum Tern;
+
+/// Bounded findings collector: severity counters stay exact; at most
+/// max_per_rule messages per rule are materialized.
+class Findings {
+ public:
+  Findings(LintReport& report, int max_per_rule)
+      : report_(report), max_per_rule_(max_per_rule) {}
+
+  void add(LintRule rule, LintSeverity sev, NetId net, std::string msg) {
+    switch (sev) {
+      case LintSeverity::kError: ++report_.errors; break;
+      case LintSeverity::kWarning: ++report_.warnings; break;
+      case LintSeverity::kInfo: ++report_.infos; break;
+    }
+    int& n = emitted_[static_cast<std::size_t>(rule)];
+    if (max_per_rule_ >= 0 && n >= max_per_rule_) return;
+    ++n;
+    report_.findings.push_back({rule, sev, net, std::move(msg)});
+  }
+
+ private:
+  LintReport& report_;
+  int max_per_rule_;
+  std::array<int, 6> emitted_{};
+};
+
+std::string net_label(const Circuit& c, NetId n) {
+  std::string s = "net " + std::to_string(n);
+  if (n < c.size()) {
+    s += " (" + std::string(gate_name(c.gate(n).kind)) + " in " +
+         c.module_path(c.gate(n).module) + ")";
+  }
+  return s;
+}
+
+// ---- structure rule --------------------------------------------------------
+//
+// The invariants previously enforced by verify_circuit(); violations make
+// the other rules meaningless (and unsafe to run), so lint_circuit()
+// gates on this rule's error count.
+
+CircuitStats check_structure(const Circuit& c, Findings& out) {
+  CircuitStats st;
+  st.gates = c.size();
+
+  std::vector<std::uint8_t> driven(c.size(), 0);
+  std::vector<int> depth(c.size(), 0);
+  std::size_t flops_seen = 0, inputs_seen = 0;
+
+  for (NetId i = 0; i < c.size(); ++i) {
+    const Gate& g = c.gate(i);
+    const int nin = fanin_count(g.kind);
+    switch (g.kind) {
+      case GateKind::Input:
+        ++st.inputs;
+        ++inputs_seen;
+        break;
+      case GateKind::Const0:
+      case GateKind::Const1:
+        ++st.constants;
+        break;
+      case GateKind::Dff:
+        ++st.flops;
+        ++flops_seen;
+        break;
+      default:
+        ++st.combinational;
+        break;
+    }
+    int d = 0;
+    for (int p = 0; p < 4; ++p) {
+      const NetId in = g.in[static_cast<std::size_t>(p)];
+      if (p < nin) {
+        if (in == kNoNet || in >= i) {
+          out.add(LintRule::kStructure, LintSeverity::kError, i,
+                  "gate " + std::to_string(i) + " (" +
+                      std::string(gate_name(g.kind)) + "): fan-in " +
+                      std::to_string(p) + " invalid or not topological");
+          continue;
+        }
+        driven[in] = 1;
+        if (g.kind != GateKind::Dff) d = std::max(d, depth[in]);
+      } else if (in != kNoNet) {
+        out.add(LintRule::kStructure, LintSeverity::kError, i,
+                "gate " + std::to_string(i) + " (" +
+                    std::string(gate_name(g.kind)) + "): unused fan-in slot " +
+                    std::to_string(p) + " not kNoNet");
+      }
+    }
+    const bool is_source = nin == 0 || g.kind == GateKind::Dff;
+    depth[i] = is_source ? 0 : d + 1;
+    st.max_logic_depth = std::max(st.max_logic_depth, depth[i]);
+  }
+
+  if (flops_seen != c.flops().size())
+    out.add(LintRule::kStructure, LintSeverity::kError, kNoNet,
+            "flop list out of sync with gate list");
+  if (inputs_seen != c.primary_inputs().size())
+    out.add(LintRule::kStructure, LintSeverity::kError, kNoNet,
+            "input list out of sync with gate list");
+
+  auto check_ports = [&](const auto& ports, const char* kind) {
+    for (const auto& [name, bus] : ports)
+      for (const NetId n : bus) {
+        if (n >= c.size())
+          out.add(LintRule::kStructure, LintSeverity::kError, kNoNet,
+                  std::string(kind) + " port '" + name +
+                      "' references out-of-range net");
+        else
+          driven[n] = 1;
+      }
+  };
+  check_ports(c.in_ports(), "input");
+  check_ports(c.out_ports(), "output");
+
+  for (NetId i = 0; i < c.size(); ++i) {
+    const GateKind k = c.gate(i).kind;
+    if (k == GateKind::Const0 || k == GateKind::Const1) continue;
+    if (!driven[i]) ++st.dangling;
+  }
+  return st;
+}
+
+// ---- support (cone-of-influence) engine ------------------------------------
+
+/// Fan-in pins that can still influence the gate's output, given the
+/// ternary input values (callers handle constant outputs separately).
+/// The default is "every X-valued pin" -- sound because constant-valued
+/// nets carry empty support -- sharpened for the cells where a constant
+/// control kills a non-constant data pin: a mux with a known select
+/// depends only on the selected branch, and a dead AND-term of a
+/// compound cell cannot pass its inputs through.
+unsigned live_pins(GateKind k, const Tern v[4]) {
+  switch (k) {
+    case GateKind::Mux2:
+      if (v[2] == k0) return 1u << 0;
+      if (v[2] == k1) return 1u << 1;
+      break;
+    case GateKind::Ao21:  // (a & b) | c
+      if (v[0] == k0 || v[1] == k0) return 1u << 2;
+      break;
+    case GateKind::Oa21:  // (a | b) & c
+      if (v[0] == k1 || v[1] == k1) return 1u << 2;
+      break;
+    case GateKind::Ao22: {  // (a & b) | (c & d)
+      unsigned m = 0;
+      if (v[0] != k0 && v[1] != k0)
+        m |= (v[0] == kX ? 1u : 0u) | (v[1] == kX ? 2u : 0u);
+      if (v[2] != k0 && v[3] != k0)
+        m |= (v[2] == kX ? 4u : 0u) | (v[3] == kX ? 8u : 0u);
+      return m;
+    }
+    default:
+      break;
+  }
+  unsigned m = 0;
+  const int nin = fanin_count(k);
+  for (int p = 0; p < nin; ++p)
+    if (v[p] == kX) m |= 1u << p;
+  return m;
+}
+
+/// Per-net primary-input support as bitsets over the input ordinal.
+/// Pinned inputs are constants and carry empty support; flops are
+/// transparent (the circuit is feed-forward, see netlist/ternary.h).
+class SupportMap {
+ public:
+  SupportMap(const Circuit& c, const TernaryResult& tern,
+             const std::vector<std::uint8_t>& pinned) {
+    const auto& inputs = c.primary_inputs();
+    input_ordinal_.assign(c.size(), -1);
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+      input_ordinal_[inputs[i]] = static_cast<int>(i);
+    words_ = (inputs.size() + 63) / 64;
+    bits_.assign(c.size() * words_, 0);
+
+    for (NetId i = 0; i < c.size(); ++i) {
+      const Gate& g = c.gate(i);
+      std::uint64_t* sup = row(i);
+      if (g.kind == GateKind::Input) {
+        if (!pinned[i]) {
+          const int ord = input_ordinal_[i];
+          sup[ord / 64] |= 1ull << (ord % 64);
+        }
+        continue;
+      }
+      if (g.kind == GateKind::Const0 || g.kind == GateKind::Const1) continue;
+      if (pinned[i] || tern_is_const(tern.value[i])) continue;
+      if (g.kind == GateKind::Dff) {
+        or_into(sup, row(g.in[0]));
+        continue;
+      }
+      Tern v[4] = {kX, kX, kX, kX};
+      const int nin = fanin_count(g.kind);
+      for (int p = 0; p < nin; ++p)
+        v[p] = tern.value[g.in[static_cast<std::size_t>(p)]];
+      const unsigned live = live_pins(g.kind, v);
+      for (int p = 0; p < nin; ++p)
+        if (live & (1u << p)) or_into(sup, row(g.in[static_cast<std::size_t>(p)]));
+    }
+  }
+
+  /// Does the support of @p net include primary input @p in?
+  bool depends_on(NetId net, NetId in) const {
+    const int ord = input_ordinal_[in];
+    if (ord < 0) return false;
+    return (row(net)[ord / 64] >> (ord % 64)) & 1;
+  }
+
+  /// Unions the supports of @p nets into one bitset.
+  std::vector<std::uint64_t> union_of(const Bus& nets) const {
+    std::vector<std::uint64_t> u(words_, 0);
+    for (const NetId n : nets) or_into(u.data(), row(n));
+    return u;
+  }
+
+  bool set_contains(const std::vector<std::uint64_t>& set, NetId in) const {
+    const int ord = input_ordinal_[in];
+    if (ord < 0) return false;
+    return (set[static_cast<std::size_t>(ord) / 64] >> (ord % 64)) & 1;
+  }
+
+ private:
+  std::uint64_t* row(NetId n) { return bits_.data() + n * words_; }
+  const std::uint64_t* row(NetId n) const { return bits_.data() + n * words_; }
+  void or_into(std::uint64_t* dst, const std::uint64_t* src) const {
+    for (std::size_t w = 0; w < words_; ++w) dst[w] |= src[w];
+  }
+
+  std::vector<int> input_ordinal_;
+  std::size_t words_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+bool is_comb(GateKind k) {
+  return fanin_count(k) > 0 && k != GateKind::Dff;
+}
+
+}  // namespace
+
+// ---- pin helpers -----------------------------------------------------------
+
+void pin_port_bits(const Circuit& c, const std::string& name, int lo,
+                   int width, std::uint64_t value,
+                   std::vector<TernaryPin>& pins) {
+  const Bus& bus = c.in_port(name);
+  if (lo < 0 || width < 0 ||
+      static_cast<std::size_t>(lo) + static_cast<std::size_t>(width) >
+          bus.size())
+    throw std::out_of_range("pin_port_bits: range out of bounds for port '" +
+                            name + "'");
+  for (int i = 0; i < width; ++i)
+    pins.push_back({bus[static_cast<std::size_t>(lo + i)],
+                    i < 64 && ((value >> i) & 1) != 0});
+}
+
+void pin_port(const Circuit& c, const std::string& name, std::uint64_t value,
+              std::vector<TernaryPin>& pins) {
+  pin_port_bits(c, name, 0, static_cast<int>(c.in_port(name).size()), value,
+                pins);
+}
+
+// ---- the analyzer ----------------------------------------------------------
+
+LintReport lint_circuit(const Circuit& c, const LintOptions& options) {
+  LintReport rep;
+  Findings out(rep, options.max_findings_per_rule);
+
+  // Module accounting is filled in by each rule as it runs.
+  rep.modules.resize(c.module_count());
+  for (std::size_t m = 0; m < c.module_count(); ++m)
+    rep.modules[m].path = c.module_path(static_cast<std::uint16_t>(m));
+  auto module_of = [&](NetId n) -> ModuleLintStats& {
+    return rep.modules[c.gate(n).module];
+  };
+
+  // structure -- always evaluated (the stats feed verify_circuit()); the
+  // value-based rules run only on structurally valid circuits.
+  rep.structure = check_structure(c, out);
+  const bool valid = rep.errors == 0;
+  if (!valid && (options.check_constants || options.check_duplicates ||
+                 options.check_unobservable || options.check_fanout ||
+                 !options.lanes.empty()))
+    out.add(LintRule::kStructure, LintSeverity::kInfo, kNoNet,
+            "structural errors present; value-based rules skipped");
+
+  for (NetId i = 0; valid && i < c.size(); ++i) {
+    const GateKind k = c.gate(i).kind;
+    if (is_comb(k) || k == GateKind::Dff) ++module_of(i).gates;
+  }
+
+  // constant -- ternary propagation under the pins.
+  std::vector<std::uint8_t> pinned(c.size(), 0);
+  for (const TernaryPin& p : options.pins)
+    if (p.net < c.size()) pinned[p.net] = 1;
+
+  TernaryResult steady;
+  if (valid && (options.check_constants || !options.lanes.empty())) {
+    steady = ternary_propagate(c, options.pins);
+  }
+  if (valid && options.check_constants) {
+    rep.constant_ran = true;
+    rep.blanked_gates = steady.const_comb;
+    rep.blanked0_gates = steady.const0_comb;
+    rep.active_gates = rep.structure.combinational - steady.const_comb;
+    rep.x_flops = steady.x_flops;
+    for (NetId i = 0; i < c.size(); ++i)
+      if (is_comb(c.gate(i).kind) && tern_is_const(steady.value[i]))
+        ++module_of(i).constant_gates;
+
+    // Output bits stuck at a constant.  With no pins this is suspicious
+    // (the cone cannot depend on any input); under pins it is the
+    // expected blanking statistic.
+    const LintSeverity sev =
+        options.pins.empty() ? LintSeverity::kWarning : LintSeverity::kInfo;
+    for (const auto& [name, bus] : c.out_ports())
+      for (std::size_t b = 0; b < bus.size(); ++b)
+        if (tern_is_const(steady.value[bus[b]])) {
+          ++rep.constant_output_bits;
+          out.add(LintRule::kConstant, sev, bus[b],
+                  "output '" + name + "[" + std::to_string(b) +
+                      "]' is stuck at " +
+                      (steady.value[bus[b]] == k1 ? "1" : "0"));
+        }
+
+    // First-cycle pass: which output bits expose uninitialized flops?
+    if (!c.flops().empty()) {
+      const TernaryResult first =
+          ternary_propagate(c, options.pins, {.flops_transparent = false});
+      for (const auto& [name, bus] : c.out_ports()) {
+        (void)name;
+        for (const NetId n : bus)
+          if (first.value[n] == kX && steady.value[n] != kX)
+            ++rep.uninit_output_bits;
+      }
+      if (rep.uninit_output_bits > 0)
+        out.add(LintRule::kConstant, LintSeverity::kInfo, kNoNet,
+                std::to_string(rep.uninit_output_bits) +
+                    " output bit(s) read uninitialized register state on "
+                    "the first cycle (pipeline fill)");
+    }
+  }
+
+  // lane-isolation -- cone-of-influence proofs under the pins.
+  if (valid && !options.lanes.empty()) {
+    const SupportMap support(c, steady, pinned);
+    for (const LaneSpec& lane : options.lanes) {
+      LaneResult res;
+      res.name = lane.name;
+      res.require_constant = lane.require_constant;
+      if (lane.require_constant) {
+        for (const NetId n : lane.outputs)
+          if (n >= c.size() || !tern_is_const(steady.value[n]))
+            res.offenders.push_back(n);
+        res.ok = res.offenders.empty();
+        if (!res.ok)
+          out.add(LintRule::kLaneIsolation, LintSeverity::kError,
+                  res.offenders.front(),
+                  "lane '" + lane.name + "': " +
+                      std::to_string(res.offenders.size()) +
+                      " output net(s) not constant; first: " +
+                      net_label(c, res.offenders.front()));
+        else
+          out.add(LintRule::kLaneIsolation, LintSeverity::kInfo, kNoNet,
+                  "lane '" + lane.name + "': all " +
+                      std::to_string(lane.outputs.size()) +
+                      " outputs proven constant");
+      } else {
+        const auto cone = support.union_of(lane.outputs);
+        for (const NetId f : lane.forbidden_inputs)
+          if (f < c.size() && support.set_contains(cone, f))
+            res.offenders.push_back(f);
+        res.ok = res.offenders.empty();
+        if (!res.ok)
+          out.add(LintRule::kLaneIsolation, LintSeverity::kError,
+                  res.offenders.front(),
+                  "lane '" + lane.name + "': cone reaches " +
+                      std::to_string(res.offenders.size()) +
+                      " forbidden input(s); first: input net " +
+                      std::to_string(res.offenders.front()));
+        else
+          out.add(LintRule::kLaneIsolation, LintSeverity::kInfo, kNoNet,
+                  "lane '" + lane.name + "': cone of " +
+                      std::to_string(lane.outputs.size()) +
+                      " outputs proven disjoint from " +
+                      std::to_string(lane.forbidden_inputs.size()) +
+                      " forbidden inputs");
+      }
+      rep.lanes.push_back(std::move(res));
+    }
+  }
+
+  // duplicate -- structural hashing.
+  if (valid && options.check_duplicates) {
+    rep.duplicates_ran = true;
+    const StrashResult strash = structural_hash(c);
+    rep.duplicate_gates = strash.duplicate_gates;
+    rep.structural_classes = strash.classes;
+    for (NetId i = 0; i < c.size(); ++i)
+      if (strash.is_duplicate(i)) {
+        ++module_of(i).duplicate_gates;
+        out.add(LintRule::kDuplicate, LintSeverity::kInfo, i,
+                net_label(c, i) + " duplicates net " +
+                    std::to_string(strash.rep[i]) + " (CSE opportunity)");
+      }
+  }
+
+  // unobservable -- backward reachability from the output ports.
+  if (valid && options.check_unobservable) {
+    rep.unobservable_ran = true;
+    std::vector<std::uint8_t> reach(c.size(), 0);
+    std::vector<NetId> stack;
+    for (const auto& [name, bus] : c.out_ports()) {
+      (void)name;
+      for (const NetId n : bus)
+        if (!reach[n]) {
+          reach[n] = 1;
+          stack.push_back(n);
+        }
+    }
+    while (!stack.empty()) {
+      const NetId n = stack.back();
+      stack.pop_back();
+      const Gate& g = c.gate(n);
+      const int nin = fanin_count(g.kind);
+      for (int p = 0; p < nin; ++p) {
+        const NetId in = g.in[static_cast<std::size_t>(p)];
+        if (!reach[in]) {
+          reach[in] = 1;
+          stack.push_back(in);
+        }
+      }
+    }
+    for (NetId i = 0; i < c.size(); ++i) {
+      const GateKind k = c.gate(i).kind;
+      if (!is_comb(k) && k != GateKind::Dff) continue;
+      if (reach[i]) continue;
+      ++rep.unobservable_gates;
+      ++module_of(i).unobservable_gates;
+      out.add(LintRule::kUnobservable, LintSeverity::kWarning, i,
+              net_label(c, i) + " cannot reach any output port");
+    }
+  }
+
+  // fanout -- histogram, hot nets, buffer chains.
+  if (valid && options.check_fanout) {
+    rep.fanout_ran = true;
+    std::vector<int> fanout(c.size(), 0);
+    for (NetId i = 0; i < c.size(); ++i) {
+      const Gate& g = c.gate(i);
+      const int nin = fanin_count(g.kind);
+      for (int p = 0; p < nin; ++p)
+        ++fanout[g.in[static_cast<std::size_t>(p)]];
+      if ((g.kind == GateKind::Buf && c.gate(g.in[0]).kind == GateKind::Buf) ||
+          (g.kind == GateKind::Not && c.gate(g.in[0]).kind == GateKind::Not)) {
+        ++rep.buffer_chain_gates;
+        out.add(LintRule::kFanout, LintSeverity::kInfo, i,
+                net_label(c, i) + " forms a " +
+                    (g.kind == GateKind::Buf ? "buffer chain"
+                                             : "double inverter"));
+      }
+    }
+    rep.fanout_hist.assign(kFanoutBuckets, 0);
+    for (NetId i = 0; i < c.size(); ++i) {
+      const GateKind k = c.gate(i).kind;
+      if (k == GateKind::Const0 || k == GateKind::Const1) continue;
+      const int f = fanout[i];
+      int b = 0;
+      if (f > 0) {
+        b = 1;
+        while (b < kFanoutBuckets - 1 && (1 << (b - 1)) < f) ++b;
+      }
+      ++rep.fanout_hist[static_cast<std::size_t>(b)];
+      if (f > rep.max_fanout) {
+        rep.max_fanout = f;
+        rep.max_fanout_net = i;
+      }
+      ModuleLintStats& ms = module_of(i);
+      ms.max_fanout = std::max(ms.max_fanout, f);
+      if (options.fanout_warning_threshold > 0 &&
+          f > options.fanout_warning_threshold)
+        out.add(LintRule::kFanout, LintSeverity::kWarning, i,
+                net_label(c, i) + " has fanout " + std::to_string(f) +
+                    " (threshold " +
+                    std::to_string(options.fanout_warning_threshold) + ")");
+    }
+  }
+
+  // Drop modules no rule touched so reports stay small.
+  rep.modules.erase(
+      std::remove_if(rep.modules.begin(), rep.modules.end(),
+                     [](const ModuleLintStats& m) { return m.gates == 0; }),
+      rep.modules.end());
+  return rep;
+}
+
+// ---- reports ---------------------------------------------------------------
+
+namespace {
+
+void json_escape_into(std::string& out, std::string_view s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string lint_report_text(const LintReport& rep, const std::string& title) {
+  std::ostringstream os;
+  if (!title.empty()) os << "=== lint: " << title << " ===\n";
+  const CircuitStats& st = rep.structure;
+  os << "gates " << st.gates << " (comb " << st.combinational << ", flops "
+     << st.flops << ", inputs " << st.inputs << ")  depth "
+     << st.max_logic_depth << "  dangling " << st.dangling << "\n";
+  os << "findings: " << rep.errors << " error(s), " << rep.warnings
+     << " warning(s), " << rep.infos << " info(s)\n";
+  if (rep.constant_ran)
+    os << "constant: blanked " << rep.blanked_gates << " (" << rep.blanked0_gates
+       << " at 0), active " << rep.active_gates << ", stuck output bits "
+       << rep.constant_output_bits << ", X flops " << rep.x_flops << "\n";
+  for (const LaneResult& l : rep.lanes)
+    os << "lane '" << l.name << "': "
+       << (l.ok ? (l.require_constant ? "PROVEN constant" : "PROVEN isolated")
+                : "VIOLATED")
+       << (l.offenders.empty()
+               ? ""
+               : " (" + std::to_string(l.offenders.size()) + " offender(s))")
+       << "\n";
+  if (rep.duplicates_ran)
+    os << "duplicate: " << rep.duplicate_gates << " redundant gate(s), "
+       << rep.structural_classes << " structural classes\n";
+  if (rep.unobservable_ran)
+    os << "unobservable: " << rep.unobservable_gates << " gate(s)\n";
+  if (rep.fanout_ran) {
+    os << "fanout: max " << rep.max_fanout << " (net " << rep.max_fanout_net
+       << "), buffer chains " << rep.buffer_chain_gates << ", hist";
+    for (std::size_t b = 0; b < rep.fanout_hist.size(); ++b)
+      if (rep.fanout_hist[b] != 0) os << " [" << b << "]=" << rep.fanout_hist[b];
+    os << "\n";
+  }
+  for (const LintFinding& f : rep.findings)
+    os << "  " << lint_severity_name(f.severity) << " ["
+       << lint_rule_name(f.rule) << "] " << f.message << "\n";
+  if (!rep.modules.empty()) {
+    os << "per-module (gates/const/dup/unobs/maxfan):\n";
+    for (const ModuleLintStats& m : rep.modules)
+      os << "  " << m.path << ": " << m.gates << "/" << m.constant_gates << "/"
+         << m.duplicate_gates << "/" << m.unobservable_gates << "/"
+         << m.max_fanout << "\n";
+  }
+  return os.str();
+}
+
+std::string lint_report_json(const LintReport& rep, const std::string& title) {
+  std::string j = "{";
+  auto key = [&](const char* k) {
+    if (j.size() > 1) j += ",";
+    j += "\"";
+    j += k;
+    j += "\":";
+  };
+  auto num = [&](const char* k, std::uint64_t v) {
+    key(k);
+    j += std::to_string(v);
+  };
+  key("title");
+  j += "\"";
+  json_escape_into(j, title);
+  j += "\"";
+
+  key("circuit");
+  {
+    const CircuitStats& st = rep.structure;
+    j += "{\"gates\":" + std::to_string(st.gates) +
+         ",\"combinational\":" + std::to_string(st.combinational) +
+         ",\"flops\":" + std::to_string(st.flops) +
+         ",\"inputs\":" + std::to_string(st.inputs) +
+         ",\"constants\":" + std::to_string(st.constants) +
+         ",\"dangling\":" + std::to_string(st.dangling) +
+         ",\"max_logic_depth\":" + std::to_string(st.max_logic_depth) + "}";
+  }
+  num("errors", rep.errors);
+  num("warnings", rep.warnings);
+  num("infos", rep.infos);
+  if (rep.constant_ran) {
+    key("constant");
+    j += "{\"blanked\":" + std::to_string(rep.blanked_gates) +
+         ",\"blanked0\":" + std::to_string(rep.blanked0_gates) +
+         ",\"active\":" + std::to_string(rep.active_gates) +
+         ",\"stuck_output_bits\":" + std::to_string(rep.constant_output_bits) +
+         ",\"x_flops\":" + std::to_string(rep.x_flops) +
+         ",\"uninit_output_bits\":" + std::to_string(rep.uninit_output_bits) +
+         "}";
+  }
+  if (!rep.lanes.empty()) {
+    key("lanes");
+    j += "[";
+    for (std::size_t i = 0; i < rep.lanes.size(); ++i) {
+      const LaneResult& l = rep.lanes[i];
+      if (i) j += ",";
+      j += "{\"name\":\"";
+      json_escape_into(j, l.name);
+      j += std::string("\",\"ok\":") + (l.ok ? "true" : "false") +
+           ",\"require_constant\":" + (l.require_constant ? "true" : "false") +
+           ",\"offenders\":[";
+      for (std::size_t o = 0; o < l.offenders.size(); ++o) {
+        if (o) j += ",";
+        j += std::to_string(l.offenders[o]);
+      }
+      j += "]}";
+    }
+    j += "]";
+  }
+  if (rep.duplicates_ran) {
+    num("duplicate_gates", rep.duplicate_gates);
+    num("structural_classes", rep.structural_classes);
+  }
+  if (rep.unobservable_ran) num("unobservable_gates", rep.unobservable_gates);
+  if (rep.fanout_ran) {
+    num("max_fanout", static_cast<std::uint64_t>(rep.max_fanout));
+    num("buffer_chain_gates", rep.buffer_chain_gates);
+    key("fanout_hist");
+    j += "[";
+    for (std::size_t b = 0; b < rep.fanout_hist.size(); ++b) {
+      if (b) j += ",";
+      j += std::to_string(rep.fanout_hist[b]);
+    }
+    j += "]";
+  }
+  key("findings");
+  j += "[";
+  for (std::size_t i = 0; i < rep.findings.size(); ++i) {
+    const LintFinding& f = rep.findings[i];
+    if (i) j += ",";
+    j += "{\"rule\":\"";
+    j += lint_rule_name(f.rule);
+    j += "\",\"severity\":\"";
+    j += lint_severity_name(f.severity);
+    j += "\",\"net\":";
+    j += f.net == kNoNet ? "null" : std::to_string(f.net);
+    j += ",\"message\":\"";
+    json_escape_into(j, f.message);
+    j += "\"}";
+  }
+  j += "]";
+  key("modules");
+  j += "[";
+  for (std::size_t i = 0; i < rep.modules.size(); ++i) {
+    const ModuleLintStats& m = rep.modules[i];
+    if (i) j += ",";
+    j += "{\"path\":\"";
+    json_escape_into(j, m.path);
+    j += "\",\"gates\":" + std::to_string(m.gates) +
+         ",\"constant\":" + std::to_string(m.constant_gates) +
+         ",\"duplicate\":" + std::to_string(m.duplicate_gates) +
+         ",\"unobservable\":" + std::to_string(m.unobservable_gates) +
+         ",\"max_fanout\":" + std::to_string(m.max_fanout) + "}";
+  }
+  j += "]}";
+  return j;
+}
+
+}  // namespace mfm::netlist

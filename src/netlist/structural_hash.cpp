@@ -1,0 +1,97 @@
+#include "netlist/structural_hash.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace mfm::netlist {
+
+namespace {
+
+struct GateKey {
+  GateKind kind;
+  std::array<NetId, 4> in;
+
+  bool operator==(const GateKey& o) const {
+    return kind == o.kind && in == o.in;
+  }
+};
+
+struct GateKeyHash {
+  std::size_t operator()(const GateKey& k) const {
+    // splitmix64-style mix of the five fields.
+    std::uint64_t h = static_cast<std::uint64_t>(k.kind);
+    for (const NetId n : k.in) {
+      h += 0x9E3779B97F4A7C15ull + n;
+      h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+      h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+    }
+    return static_cast<std::size_t>(h ^ (h >> 31));
+  }
+};
+
+// Sorts the fan-ins that commute for this kind.
+void normalize(GateKey& k) {
+  auto* in = k.in.data();
+  switch (k.kind) {
+    case GateKind::And2:
+    case GateKind::Or2:
+    case GateKind::Xor2:
+    case GateKind::Nand2:
+    case GateKind::Nor2:
+    case GateKind::Xnor2:
+      if (in[0] > in[1]) std::swap(in[0], in[1]);
+      break;
+    case GateKind::And3:
+    case GateKind::Or3:
+    case GateKind::Xor3:
+    case GateKind::Maj3:
+      std::sort(in, in + 3);
+      break;
+    case GateKind::Ao21:  // (a & b) | c: a, b commute
+    case GateKind::Oa21:  // (a | b) & c: a, b commute
+      if (in[0] > in[1]) std::swap(in[0], in[1]);
+      break;
+    case GateKind::Ao22:  // (a & b) | (c & d): within pairs and pair order
+      if (in[0] > in[1]) std::swap(in[0], in[1]);
+      if (in[2] > in[3]) std::swap(in[2], in[3]);
+      if (std::tie(in[2], in[3]) < std::tie(in[0], in[1])) {
+        std::swap(in[0], in[2]);
+        std::swap(in[1], in[3]);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+StrashResult structural_hash(const Circuit& c) {
+  StrashResult r;
+  r.rep.resize(c.size());
+  std::unordered_map<GateKey, NetId, GateKeyHash> seen;
+  seen.reserve(c.size());
+
+  for (NetId i = 0; i < c.size(); ++i) {
+    const Gate& g = c.gate(i);
+    const int nin = fanin_count(g.kind);
+    if (nin == 0 || g.kind == GateKind::Dff) {
+      r.rep[i] = i;  // sources and state are never merged
+      continue;
+    }
+    GateKey key{g.kind, {kNoNet, kNoNet, kNoNet, kNoNet}};
+    for (int p = 0; p < nin; ++p)
+      key.in[static_cast<std::size_t>(p)] =
+          r.rep[g.in[static_cast<std::size_t>(p)]];
+    normalize(key);
+    const auto [it, inserted] = seen.emplace(key, i);
+    r.rep[i] = it->second;
+    if (inserted)
+      ++r.classes;
+    else
+      ++r.duplicate_gates;
+  }
+  return r;
+}
+
+}  // namespace mfm::netlist

@@ -1,0 +1,40 @@
+// Structural hashing (strash) of a Circuit: duplicate-gate detection with
+// commutative-input normalization, in the spirit of AIG/netlist CSE
+// passes.  Two gates are structurally equal when they have the same kind
+// and the same fan-ins after (a) rewriting every fan-in through the
+// representative of its own equivalence class and (b) sorting fan-ins
+// that commute for that kind (And/Or/Xor/Nand/Nor/Xnor/Maj, the AB pair
+// of AO21/OA21, and both pairs plus the pair order of AO22).  Chasing
+// representatives makes detection transitive: AND(x, y) duplicates
+// AND(x', y) when x' is itself a duplicate of x.
+//
+// The result is a map from each net to the first structurally-equal net;
+// gates whose representative is not themselves are redundant and could be
+// merged by a CSE rewrite (the lint rule reports them).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace mfm::netlist {
+
+/// Structural equivalence classes of a circuit's gates.
+struct StrashResult {
+  /// rep[n] = lowest NetId structurally equal to n (rep[n] == n for class
+  /// leaders, sources and flops).
+  std::vector<NetId> rep;
+  std::size_t duplicate_gates = 0;  ///< gates with rep[n] != n
+  std::size_t classes = 0;          ///< distinct combinational structures
+
+  bool is_duplicate(NetId n) const { return rep[n] != n; }
+};
+
+/// Hashes every combinational gate.  Inputs, constants and flops are
+/// always their own representative (a Dff is state, not structure).
+/// Requires a structurally valid circuit (fan-ins in range); run the
+/// structure lint rule first on untrusted circuits.
+StrashResult structural_hash(const Circuit& c);
+
+}  // namespace mfm::netlist

@@ -1,89 +1,22 @@
 #include "netlist/verify.h"
 
-#include <algorithm>
+#include "netlist/lint.h"
 
 namespace mfm::netlist {
 
 CircuitStats verify_circuit(const Circuit& c,
                             std::vector<std::string>* findings) {
-  CircuitStats st;
-  st.gates = c.size();
-  auto report = [&](std::string msg) {
-    if (findings) findings->push_back(std::move(msg));
-  };
-
-  std::vector<std::uint8_t> driven(c.size(), 0);
-  std::vector<int> depth(c.size(), 0);
-  std::size_t flops_seen = 0, inputs_seen = 0;
-
-  for (NetId i = 0; i < c.size(); ++i) {
-    const Gate& g = c.gate(i);
-    const int nin = fanin_count(g.kind);
-    switch (g.kind) {
-      case GateKind::Input:
-        ++st.inputs;
-        ++inputs_seen;
-        break;
-      case GateKind::Const0:
-      case GateKind::Const1:
-        ++st.constants;
-        break;
-      case GateKind::Dff:
-        ++st.flops;
-        ++flops_seen;
-        break;
-      default:
-        ++st.combinational;
-        break;
-    }
-    int d = 0;
-    for (int p = 0; p < 4; ++p) {
-      const NetId in = g.in[static_cast<std::size_t>(p)];
-      if (p < nin) {
-        if (in == kNoNet || in >= i) {
-          report("gate " + std::to_string(i) + " (" +
-                 std::string(gate_name(g.kind)) + "): fan-in " +
-                 std::to_string(p) + " invalid or not topological");
-          continue;
-        }
-        driven[in] = 1;
-        if (g.kind != GateKind::Dff) d = std::max(d, depth[in]);
-      } else if (in != kNoNet) {
-        report("gate " + std::to_string(i) + " (" +
-               std::string(gate_name(g.kind)) + "): unused fan-in slot " +
-               std::to_string(p) + " not kNoNet");
-      }
-    }
-    const bool is_source = nin == 0 || g.kind == GateKind::Dff;
-    depth[i] = is_source ? 0 : d + 1;
-    st.max_logic_depth = std::max(st.max_logic_depth, depth[i]);
-  }
-
-  if (flops_seen != c.flops().size())
-    report("flop list out of sync with gate list");
-  if (inputs_seen != c.primary_inputs().size())
-    report("input list out of sync with gate list");
-
-  // Port nets must be in range; port nets count as observed.
-  auto check_ports = [&](const auto& ports, const char* kind) {
-    for (const auto& [name, bus] : ports)
-      for (const NetId n : bus) {
-        if (n >= c.size())
-          report(std::string(kind) + " port '" + name +
-                 "' references out-of-range net");
-        else
-          driven[n] = 1;
-      }
-  };
-  check_ports(c.in_ports(), "input");
-  check_ports(c.out_ports(), "output");
-
-  for (NetId i = 0; i < c.size(); ++i) {
-    const GateKind k = c.gate(i).kind;
-    if (k == GateKind::Const0 || k == GateKind::Const1) continue;
-    if (!driven[i]) ++st.dangling;
-  }
-  return st;
+  LintOptions opt;
+  opt.check_constants = false;
+  opt.check_duplicates = false;
+  opt.check_unobservable = false;
+  opt.check_fanout = false;
+  opt.max_findings_per_rule = -1;  // callers expect one message per violation
+  const LintReport rep = lint_circuit(c, opt);
+  if (findings)
+    for (const LintFinding& f : rep.findings)
+      findings->push_back(f.message);
+  return rep.structure;
 }
 
 }  // namespace mfm::netlist

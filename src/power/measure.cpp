@@ -8,33 +8,15 @@
 #include <random>
 #include <vector>
 
+#include "common/env.h"
 #include "common/parallel.h"
 #include "netlist/sim_event.h"
 
 namespace mfm::power {
 
-namespace {
+using common::env_positive_int;
 
-/// Parses an environment variable as a strictly positive int.  Unlike
-/// atoi, trailing junk ("2k"), overflow, and non-numeric input are
-/// rejected -- with a warning, since silently measuring 200 vectors when
-/// the user asked for "2k" invalidates the experiment they thought they
-/// ran.  Returns @p fallback when unset or invalid.
-int env_positive_int(const char* name, int fallback) {
-  const char* env = std::getenv(name);
-  if (!env || *env == '\0') return fallback;
-  char* end = nullptr;
-  errno = 0;
-  const long v = std::strtol(env, &end, 10);
-  if (errno != 0 || end == env || *end != '\0' || v <= 0 || v > INT32_MAX) {
-    std::fprintf(stderr,
-                 "warning: %s='%s' is not a positive integer; "
-                 "using default %d\n",
-                 name, env, fallback);
-    return fallback;
-  }
-  return static_cast<int>(v);
-}
+namespace {
 
 std::uint64_t splitmix64(std::uint64_t x) {
   x += 0x9E3779B97F4A7C15ull;

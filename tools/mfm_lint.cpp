@@ -1,0 +1,194 @@
+// mfm_lint: run the netlist static analyzer over every shipped generator.
+//
+//   mfm_lint [--json] [--fail-on=error|warning] [--only=SUBSTR]
+//            [--fanout-threshold=N]
+//
+// Instantiates the radix-4 and radix-16 multipliers, the multi-format
+// unit (baseline and with the Sec. IV reduction integrated) under each
+// format's control pins, the single-format FP multipliers and adder, and
+// the standalone reduction unit, and lints each one.  For the MF unit the
+// fp32x2 run carries the Fig. 4 lane-isolation obligations (each lane's
+// product cone must exclude the other lane's operand inputs) and the
+// fp32x1 run proves the idle upper lane statically constant.
+//
+// Exit status is nonzero when any report has findings at or above the
+// --fail-on severity (default: error), so CI can gate on it.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mf/fp_reduce.h"
+#include "mf/mf_unit.h"
+#include "mult/fp_adder.h"
+#include "mult/fp_multiplier.h"
+#include "mult/multiplier.h"
+#include "netlist/lint.h"
+
+namespace {
+
+using mfm::netlist::Bus;
+using mfm::netlist::Circuit;
+using mfm::netlist::LaneSpec;
+using mfm::netlist::LintOptions;
+using mfm::netlist::LintReport;
+using mfm::netlist::LintSeverity;
+
+struct CliOptions {
+  bool json = false;
+  LintSeverity fail_on = LintSeverity::kError;
+  std::string only;
+  int fanout_threshold = 0;
+};
+
+struct Runner {
+  CliOptions cli;
+  int failures = 0;
+  bool first_json = true;
+  // name -> active combinational gates, for the Table V summary.
+  std::vector<std::pair<std::string, std::size_t>> active;
+
+  void run(const std::string& name, const Circuit& c, LintOptions opt) {
+    if (!cli.only.empty() && name.find(cli.only) == std::string::npos) return;
+    opt.fanout_warning_threshold = cli.fanout_threshold;
+    const LintReport rep = lint_circuit(c, opt);
+    if (!rep.clean(cli.fail_on)) ++failures;
+    if (rep.constant_ran && !opt.pins.empty())
+      active.emplace_back(name, rep.active_gates);
+    if (cli.json) {
+      std::printf("%s%s", first_json ? "" : ",\n  ",
+                  lint_report_json(rep, name).c_str());
+      first_json = false;
+    } else {
+      std::printf("%s\n", lint_report_text(rep, name).c_str());
+    }
+  }
+};
+
+Bus concat(const Bus& a, const Bus& b) {
+  Bus out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+void lint_mf(Runner& r, const char* tag, const mfm::mf::MfOptions& build) {
+  const mfm::mf::MfUnit unit = mfm::mf::build_mf_unit(build);
+  const Circuit& c = *unit.circuit;
+  const std::string base = std::string("mf") + tag;
+
+  using mfm::mf::Format;
+  using mfm::netlist::pin_port;
+  using mfm::netlist::pin_port_bits;
+
+  for (const Format f : {Format::Int64, Format::Fp64, Format::Fp32Dual}) {
+    LintOptions opt;
+    pin_port(c, "frmt", mfm::mf::frmt_bits(f), opt.pins);
+    const char* fname = f == Format::Int64  ? "int64"
+                        : f == Format::Fp64 ? "fp64"
+                                            : "fp32x2";
+    if (f == Format::Fp32Dual) {
+      // Fig. 4: in dual mode each lane's product must be a function of
+      // its own lane's operands only.
+      opt.lanes.push_back(
+          LaneSpec{"upper-isolated", mfm::netlist::slice(unit.ph, 32, 32),
+                   concat(mfm::netlist::slice(unit.a, 0, 32),
+                          mfm::netlist::slice(unit.b, 0, 32))});
+      opt.lanes.push_back(
+          LaneSpec{"lower-isolated", mfm::netlist::slice(unit.ph, 0, 32),
+                   concat(mfm::netlist::slice(unit.a, 32, 32),
+                          mfm::netlist::slice(unit.b, 32, 32))});
+    }
+    r.run(base + "/" + fname, c, std::move(opt));
+  }
+
+  // fp32x1: dual-mode with the upper lane's operands idle (zero), the
+  // workload of power/workloads.cpp's Fp32SingleRandom.  The idle lane's
+  // outputs must be statically constant -- that is where the fp32x1 power
+  // saving of Table V comes from.
+  {
+    LintOptions opt;
+    pin_port(c, "frmt", mfm::mf::frmt_bits(Format::Fp32Dual), opt.pins);
+    pin_port_bits(c, "a", 32, 32, 0, opt.pins);
+    pin_port_bits(c, "b", 32, 32, 0, opt.pins);
+    opt.lanes.push_back(LaneSpec{"idle-upper-constant",
+                                 mfm::netlist::slice(unit.ph, 32, 32),
+                                 {},
+                                 /*require_constant=*/true});
+    r.run(base + "/fp32x1", c, std::move(opt));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Runner r;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      r.cli.json = true;
+    } else if (arg == "--fail-on=error") {
+      r.cli.fail_on = LintSeverity::kError;
+    } else if (arg == "--fail-on=warning") {
+      r.cli.fail_on = LintSeverity::kWarning;
+    } else if (arg.rfind("--only=", 0) == 0) {
+      r.cli.only = arg.substr(7);
+    } else if (arg.rfind("--fanout-threshold=", 0) == 0) {
+      r.cli.fanout_threshold = std::atoi(arg.c_str() + 19);
+    } else {
+      std::fprintf(stderr,
+                   "usage: mfm_lint [--json] [--fail-on=error|warning] "
+                   "[--only=SUBSTR] [--fanout-threshold=N]\n");
+      return 2;
+    }
+  }
+
+  if (r.cli.json) std::printf("{\"units\":[");
+
+  {
+    const auto unit = mfm::mult::build_radix4_64();
+    r.run("radix4-64", *unit.circuit, {});
+  }
+  {
+    const auto unit = mfm::mult::build_radix16_64();
+    r.run("radix16-64", *unit.circuit, {});
+  }
+  lint_mf(r, "", {});
+  lint_mf(r, "-reduce", {.with_reduction = true});
+  {
+    mfm::mult::FpMultiplierOptions opt;
+    opt.format = mfm::fp::kBinary32;
+    const auto unit = mfm::mult::build_fp_multiplier(opt);
+    r.run("fpmul-b32", *unit.circuit, {});
+  }
+  {
+    mfm::mult::FpMultiplierOptions opt;
+    opt.format = mfm::fp::kBinary64;
+    const auto unit = mfm::mult::build_fp_multiplier(opt);
+    r.run("fpmul-b64", *unit.circuit, {});
+  }
+  {
+    const auto unit = mfm::mult::build_fp_adder({});
+    r.run("fpadd-b32", *unit.circuit, {});
+  }
+  {
+    const auto unit = mfm::mf::build_reduce_unit();
+    r.run("reduce64to32", *unit.circuit, {});
+  }
+
+  if (r.cli.json) {
+    std::printf("],\"failures\":%d}\n", r.failures);
+  } else if (!r.active.empty()) {
+    // Table V, structurally: gates that can toggle under each format pin.
+    std::printf("active combinational gates by format:\n");
+    for (const auto& [name, n] : r.active)
+      std::printf("  %-18s %zu\n", name.c_str(), n);
+  }
+  if (r.failures > 0) {
+    std::fprintf(stderr, "mfm_lint: %d unit report(s) with findings at %s+\n",
+                 r.failures,
+                 std::string(lint_severity_name(r.cli.fail_on)).c_str());
+    return 1;
+  }
+  return 0;
+}
