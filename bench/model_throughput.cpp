@@ -9,8 +9,10 @@
 #include "mf/mf_model.h"
 #include "mf/mf_unit.h"
 #include "mult/multiplier.h"
+#include "netlist/compiled.h"
 #include "netlist/sim_event.h"
 #include "netlist/sim_level.h"
+#include "netlist/sim_pack.h"
 
 using namespace mfm;
 
@@ -99,6 +101,59 @@ void BM_EventSimRadix16(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EventSimRadix16);
+
+// LevelSim vs PackSim on the combinational mf unit: both count
+// items_per_second in VECTORS/s, so the per-pass 64-lane win of the
+// bit-parallel simulator shows up directly in the report.
+void BM_LevelSimMfUnitVectors(benchmark::State& state) {
+  static const auto unit = [] {
+    mf::MfOptions opt;
+    opt.pipeline = mf::MfPipeline::Combinational;
+    return mf::build_mf_unit(opt);
+  }();
+  static const netlist::CompiledCircuit cc(*unit.circuit);
+  netlist::LevelSim sim(cc);
+  std::uint64_t a = rand_fp64(), b = rand_fp64();
+  for (auto _ : state) {
+    sim.set_bus(unit.a, a);
+    sim.set_bus(unit.b, b);
+    sim.set_bus(unit.frmt, 1);
+    sim.eval();
+    benchmark::DoNotOptimize(sim.read_bus(unit.ph));
+    a ^= b << 5;
+    a = (a & ~(0x7FFull << 52)) | (1000ull << 52);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(unit.circuit->size()) + " gates, 1 vector/pass");
+}
+BENCHMARK(BM_LevelSimMfUnitVectors);
+
+void BM_PackSimMfUnitVectors(benchmark::State& state) {
+  static const auto unit = [] {
+    mf::MfOptions opt;
+    opt.pipeline = mf::MfPipeline::Combinational;
+    return mf::build_mf_unit(opt);
+  }();
+  static const netlist::CompiledCircuit cc(*unit.circuit);
+  netlist::PackSim sim(cc);
+  std::uint64_t a = rand_fp64(), b = rand_fp64();
+  for (auto _ : state) {
+    for (int lane = 0; lane < netlist::PackSim::kLanes; ++lane) {
+      sim.set_bus(unit.a, lane, a);
+      sim.set_bus(unit.b, lane, b);
+      sim.set_bus(unit.frmt, lane, 1);
+      a ^= b << 5;
+      a = (a & ~(0x7FFull << 52)) | (1000ull << 52);
+    }
+    sim.eval();
+    benchmark::DoNotOptimize(sim.read_bus(unit.ph, 0));
+  }
+  // One pass evaluates 64 independent vectors.
+  state.SetItemsProcessed(state.iterations() * netlist::PackSim::kLanes);
+  state.SetLabel(std::to_string(unit.circuit->size()) +
+                 " gates, 64 vectors/pass");
+}
+BENCHMARK(BM_PackSimMfUnitVectors);
 
 void BM_EventSimMfUnitPipelined(benchmark::State& state) {
   static const auto unit = [] { return mf::build_mf_unit(); }();

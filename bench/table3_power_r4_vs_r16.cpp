@@ -12,6 +12,7 @@ namespace {
 
 std::uint64_t g_events = 0;
 double g_wall_s = 0.0;
+double g_compile_s = 0.0;
 
 double run(int g, mult::PipelineCut cut, int vectors, int threads) {
   mult::MultiplierOptions o;
@@ -24,6 +25,7 @@ double run(int g, mult::PipelineCut cut, int vectors, int threads) {
       power::measure_multiplier_parallel(u, vectors, 100.0, 0x5EED, threads);
   g_events += p.events;
   g_wall_s += p.wall_s;
+  g_compile_s += p.compile_s;
   return p.report.total_mw();
 }
 
@@ -75,6 +77,8 @@ int main() {
               "(%llu events in %.2f s, %d threads)\n",
               g_wall_s > 0.0 ? g_events / g_wall_s / 1e6 : 0.0,
               static_cast<unsigned long long>(g_events), g_wall_s, threads);
+  std::printf("circuit compile time: %.3f s (one CompiledCircuit per "
+              "measurement, shared by all shards)\n", g_compile_s);
 
   std::printf(
       "\nShape checks vs paper: pipelining reduces power for both units\n"

@@ -46,6 +46,7 @@ int main() {
   double mw100[4];
   std::uint64_t events = 0;
   double wall_s = 0.0;
+  double compile_s = 0.0;
   int i = 0;
   for (const RowSpec& r : rows) {
     const auto p = power::measure_mf_parallel(unit, r.workload, vectors,
@@ -53,6 +54,7 @@ int main() {
     mw100[i++] = p.mw_100;
     events += p.events;
     wall_s += p.wall_s;
+    compile_s += p.compile_s;
     t.row({r.name, bench::fmt("%.2f", p.mw_100), r.paper_mw100,
            bench::fmt("%.1f", p.mw_fmax), bench::fmt("%.2f", p.gflops),
            bench::fmt("%.1f", p.gflops_per_w), r.paper_eff});
@@ -62,6 +64,8 @@ int main() {
               "(%llu events in %.2f s, %d threads)\n",
               wall_s > 0.0 ? events / wall_s / 1e6 : 0.0,
               static_cast<unsigned long long>(events), wall_s, threads);
+  std::printf("circuit compile time: %.3f s (one CompiledCircuit per "
+              "measurement, shared by all shards)\n", compile_s);
 
   std::printf("\nActivity ratios (paper Sec. III-E):\n");
   bench::Table a;

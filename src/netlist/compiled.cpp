@@ -1,0 +1,85 @@
+#include "netlist/compiled.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace mfm::netlist {
+
+CompiledCircuit::CompiledCircuit(const Circuit& c) : c_(&c) {
+  const std::size_t n = c.size();
+  kind_.resize(n);
+  nin_.resize(n);
+  for (NetId g = 0; g < n; ++g) {
+    const Gate& gate = c.gate(g);
+    kind_[g] = gate.kind;
+    const int nin = fanin_count(gate.kind);
+    nin_[g] = static_cast<std::uint8_t>(nin);
+    for (int p = 0; p < 4; ++p) {
+      const NetId src = gate.in[static_cast<std::size_t>(p)];
+      if (p < nin) {
+        if (src >= g)
+          throw std::invalid_argument(
+              "CompiledCircuit: gate " + std::to_string(g) + " pin " +
+              std::to_string(p) + " invalid or not topological");
+      } else if (src != kNoNet) {
+        throw std::invalid_argument(
+            "CompiledCircuit: gate " + std::to_string(g) +
+            " unused pin " + std::to_string(p) + " is connected");
+      }
+    }
+  }
+
+  flop_ordinal_.assign(n, 0);
+  for (std::size_t i = 0; i < c.flops().size(); ++i) {
+    const NetId q = c.flops()[i];
+    if (q >= n || kind_[q] != GateKind::Dff)
+      throw std::invalid_argument(
+          "CompiledCircuit: flops() entry " + std::to_string(i) +
+          " is not a Dff net");
+    flop_ordinal_[q] = static_cast<std::uint32_t>(i);
+  }
+
+  // CSR fan-out: counting pass, prefix sum, fill in (gate, pin) order so
+  // the adjacency rows match the event simulator's historical scheduling
+  // order exactly.
+  std::vector<std::uint32_t> deg(n + 1, 0);
+  std::size_t pins = 0;
+  for (NetId g = 0; g < n; ++g) {
+    const Gate& gate = c.gate(g);
+    const int nin = nin_[g];
+    pins += static_cast<std::size_t>(nin);
+    for (int p = 0; p < nin; ++p) ++deg[gate.in[static_cast<std::size_t>(p)]];
+  }
+  fanout_off_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    fanout_off_[i + 1] = fanout_off_[i] + deg[i];
+  fanout_.resize(fanout_off_.back());
+  std::vector<std::uint32_t> fill(n, 0);
+
+  // CSR fan-in (used pins only) and topological levels in the same pass.
+  fanin_off_.assign(n + 1, 0);
+  fanin_.resize(pins);
+  level_.assign(n, 0);
+  std::size_t fanin_at = 0;
+  for (NetId g = 0; g < n; ++g) {
+    const Gate& gate = c.gate(g);
+    const int nin = nin_[g];
+    fanin_off_[g] = static_cast<std::uint32_t>(fanin_at);
+    std::uint32_t lvl = 0;
+    for (int p = 0; p < nin; ++p) {
+      const NetId src = gate.in[static_cast<std::size_t>(p)];
+      fanout_[fanout_off_[src] + fill[src]++] = g;
+      fanin_[fanin_at++] = src;
+      lvl = std::max(lvl, level_[src] + 1);
+    }
+    // Sources -- constants, inputs, and flop outputs (whose value comes
+    // from the previous cycle's state, not this cycle's D cone) -- sit at
+    // level 0.
+    level_[g] = (nin == 0 || gate.kind == GateKind::Dff) ? 0 : lvl;
+    level_count_ = std::max(level_count_, level_[g] + 1);
+  }
+  fanin_off_[n] = static_cast<std::uint32_t>(fanin_at);
+}
+
+}  // namespace mfm::netlist

@@ -1,0 +1,99 @@
+// CompiledCircuit: the shared structural compilation of a Circuit.
+//
+// Every analysis engine used to privately re-derive the same structure
+// from the gate list -- flop ordinals in both simulators, CSR fan-out
+// adjacency in the event simulator (rebuilt per shard by the power
+// engine), implicit fan-in walks in the timing analyzer and the lint
+// cone passes.  CompiledCircuit is built once per Circuit and owns all
+// of it: CSR fan-out and fan-in adjacency, dense flop ordinals,
+// topological levels, and cache-friendly per-gate evaluation metadata
+// (kind + fan-in count in one flat array each).  Consumers --
+// LevelSim, PackSim, EventSim, ternary propagation, the lint rules,
+// and Sta -- hold a const reference and never copy; the object is
+// immutable after construction, so one instance can back any number of
+// concurrent simulators (the sharded power engine shares one across
+// all worker threads).
+//
+// Construction validates the same topological invariants as the lint
+// structure rule (every used fan-in references an earlier gate, unused
+// slots hold kNoNet) and throws std::invalid_argument on violation:
+// the CSR arrays would otherwise index out of bounds, and every
+// consumer of a CompiledCircuit is entitled to assume a well-formed
+// DAG.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace mfm::netlist {
+
+class CompiledCircuit {
+ public:
+  /// Compiles @p c.  The circuit must outlive this object and must not
+  /// grow afterwards.  Throws std::invalid_argument when a used fan-in
+  /// slot is out of range / non-topological or an unused slot is not
+  /// kNoNet (run lint_circuit() for a readable report first).
+  explicit CompiledCircuit(const Circuit& c);
+
+  const Circuit& circuit() const { return *c_; }
+  std::size_t size() const { return kind_.size(); }
+
+  // ---- per-gate evaluation metadata -------------------------------------
+  GateKind kind(NetId n) const { return kind_[n]; }
+  int fanin_count_of(NetId n) const { return nin_[n]; }
+  const std::vector<GateKind>& kinds() const { return kind_; }
+
+  // ---- flops ------------------------------------------------------------
+  std::size_t flop_count() const { return circuit().flops().size(); }
+  /// Dense ordinal of flop net @p q (its index in Circuit::flops()).
+  /// Meaningful only for Dff nets; 0 otherwise.
+  std::uint32_t flop_ordinal(NetId q) const { return flop_ordinal_[q]; }
+
+  // ---- CSR fan-out adjacency --------------------------------------------
+  /// Gates driven by net @p n, in (gate, pin) creation order -- the same
+  /// order the event simulator historically scheduled re-evaluations in,
+  /// which keeps its event sequence (and toggle counts) bit-identical.
+  std::span<const NetId> fanout(NetId n) const {
+    return {fanout_.data() + fanout_off_[n],
+            fanout_.data() + fanout_off_[n + 1]};
+  }
+  int fanout_count(NetId n) const {
+    return static_cast<int>(fanout_off_[n + 1] - fanout_off_[n]);
+  }
+
+  // ---- CSR fan-in adjacency ---------------------------------------------
+  /// Used fan-in nets of gate @p n (pin order, no kNoNet entries).
+  std::span<const NetId> fanin(NetId n) const {
+    return {fanin_.data() + fanin_off_[n], fanin_.data() + fanin_off_[n + 1]};
+  }
+
+  // ---- topological levels -----------------------------------------------
+  /// Level 0: sources (constants, inputs, flop outputs); a combinational
+  /// gate sits one past its deepest fan-in.  Creation order is already a
+  /// valid evaluation order; levels additionally expose the depth
+  /// structure (wavefront scheduling, depth statistics).
+  std::uint32_t level(NetId n) const { return level_[n]; }
+  /// Number of distinct levels (max level + 1); 0 for an empty circuit.
+  std::uint32_t level_count() const { return level_count_; }
+  /// Gates on the longest combinational path (== max level).
+  int max_logic_depth() const {
+    return level_count_ == 0 ? 0 : static_cast<int>(level_count_) - 1;
+  }
+
+ private:
+  const Circuit* c_;
+  std::vector<GateKind> kind_;
+  std::vector<std::uint8_t> nin_;
+  std::vector<std::uint32_t> flop_ordinal_;
+  std::vector<std::uint32_t> fanout_off_;
+  std::vector<NetId> fanout_;
+  std::vector<std::uint32_t> fanin_off_;
+  std::vector<NetId> fanin_;
+  std::vector<std::uint32_t> level_;
+  std::uint32_t level_count_ = 0;
+};
+
+}  // namespace mfm::netlist

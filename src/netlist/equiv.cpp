@@ -1,15 +1,20 @@
 #include "netlist/equiv.h"
 
+#include <bit>
 #include <random>
 #include <sstream>
 
-#include "netlist/sim_level.h"
+#include "netlist/compiled.h"
+#include "netlist/sim_pack.h"
 
 namespace mfm::netlist {
 
 namespace {
 
 std::string hex(u128 v) { return to_hex(v); }
+
+/// One full input assignment (every input port of both circuits).
+using Assignment = std::vector<std::pair<std::string, u128>>;
 
 }  // namespace
 
@@ -38,68 +43,100 @@ EquivResult check_equivalence(const Circuit& lhs, const Circuit& rhs,
       out_names.push_back(name);
   }
 
-  LevelSim sl(lhs), sr(rhs);
-  std::mt19937_64 rng(seed);
+  // Both circuits are compiled once and driven 64 vectors per eval()
+  // pass; mismatch lanes fall out of xor-ing the per-bit lane words.
+  const CompiledCircuit cl(lhs), cr(rhs);
+  PackSim sl(cl), sr(cr);
 
-  auto run_vector =
-      [&](const std::vector<std::pair<std::string, u128>>& assignment)
-      -> bool {
-    for (const auto& [name, value] : assignment) {
-      sl.set_port(name, value);
-      sr.set_port(name, value);
-    }
+  std::vector<Assignment> batch;
+  batch.reserve(PackSim::kLanes);
+
+  // Evaluates the batched lanes; returns true when all agree.  On a
+  // mismatch, reports the EARLIEST differing lane (deterministic: lanes
+  // are filled in vector order) and, for that lane's assignment, the
+  // value of EVERY shared output port, flagging each port that differs
+  // -- not just the first mismatching one.
+  auto flush = [&]() -> bool {
+    if (batch.empty()) return true;
+    for (std::size_t lane = 0; lane < batch.size(); ++lane)
+      for (const auto& [name, value] : batch[lane]) {
+        sl.set_bus(lhs.in_port(name), static_cast<int>(lane), value);
+        sr.set_bus(rhs.in_port(name), static_cast<int>(lane), value);
+      }
     sl.eval();
     sr.eval();
-    ++res.vectors;
+    res.vectors += batch.size();
+    const std::uint64_t used =
+        batch.size() == PackSim::kLanes
+            ? ~0ull
+            : (1ull << batch.size()) - 1;  // ignore undriven lanes
+    std::uint64_t mismatch = 0;
     for (const std::string& out : out_names) {
-      const u128 a = sl.read_port(out);
-      const u128 b = sr.read_port(out);
-      if (a != b) {
-        std::ostringstream os;
-        os << "output '" << out << "' differs: " << hex(a) << " vs "
-           << hex(b) << " for";
-        for (const auto& [name, value] : assignment)
-          os << " " << name << "=" << hex(value);
-        res.equivalent = false;
-        res.counterexample = os.str();
-        return false;
-      }
+      const Bus& bl = lhs.out_port(out);
+      const Bus& br = rhs.out_port(out);
+      for (std::size_t i = 0; i < bl.size(); ++i)
+        mismatch |= sl.word(bl[i]) ^ sr.word(br[i]);
     }
-    return true;
+    mismatch &= used;
+    if (mismatch == 0) {
+      batch.clear();
+      return true;
+    }
+    const int lane = std::countr_zero(mismatch);
+    std::ostringstream os;
+    os << "outputs differ for";
+    for (const auto& [name, value] : batch[static_cast<std::size_t>(lane)])
+      os << " " << name << "=" << hex(value);
+    os << ":";
+    for (const std::string& out : out_names) {
+      const u128 a = sl.read_port(out, lane);
+      const u128 b = sr.read_port(out, lane);
+      os << " '" << out << "' " << hex(a) << " vs " << hex(b)
+         << (a != b ? " [differs]" : "") << ";";
+    }
+    res.equivalent = false;
+    res.counterexample = os.str();
+    batch.clear();
+    return false;
+  };
+
+  auto push = [&](const Assignment& a) -> bool {
+    batch.push_back(a);
+    if (batch.size() < PackSim::kLanes) return true;
+    return flush();
   };
 
   // Directed patterns: constants, walking ones per port.
-  std::vector<std::pair<std::string, u128>> assign;
-  for (const auto& [name, bus] : lhs.in_ports())
-    assign.emplace_back(name, 0);
-  auto set_all = [&](u128 v, int width_cap) {
+  Assignment assign;
+  for (const auto& [name, bus] : lhs.in_ports()) assign.emplace_back(name, 0);
+  auto set_all = [&](u128 v) {
     for (auto& [name, value] : assign) {
       const int w = static_cast<int>(lhs.in_port(name).size());
-      (void)width_cap;
       value = v & ((w >= 128) ? ~static_cast<u128>(0)
                               : ((static_cast<u128>(1) << w) - 1));
     }
   };
-  set_all(0, 0);
-  if (!run_vector(assign)) return res;
-  set_all(~static_cast<u128>(0), 0);
-  if (!run_vector(assign)) return res;
+  set_all(0);
+  if (!push(assign)) return res;
+  set_all(~static_cast<u128>(0));
+  if (!push(assign)) return res;
   for (std::size_t port = 0; port < assign.size(); ++port) {
     const int w = static_cast<int>(lhs.in_port(assign[port].first).size());
     for (int bit = 0; bit < w && bit < 128; ++bit) {
-      set_all(0, 0);
+      set_all(0);
       assign[port].second = static_cast<u128>(1) << bit;
-      if (!run_vector(assign)) return res;
-      set_all(~static_cast<u128>(0), 0);
+      if (!push(assign)) return res;
+      set_all(~static_cast<u128>(0));
       assign[port].second ^= ~static_cast<u128>(0);
       assign[port].second &=
           (w >= 128) ? ~static_cast<u128>(0)
                      : ((static_cast<u128>(1) << w) - 1);
-      if (!run_vector(assign)) return res;
+      if (!push(assign)) return res;
     }
   }
 
-  // Random sweep.
+  // Random sweep (64 vectors per evaluation pass).
+  std::mt19937_64 rng(seed);
   for (int i = 0; i < random_vectors; ++i) {
     for (auto& [name, value] : assign) {
       const int w = static_cast<int>(lhs.in_port(name).size());
@@ -107,8 +144,9 @@ EquivResult check_equivalence(const Circuit& lhs, const Circuit& rhs,
               ((w >= 128) ? ~static_cast<u128>(0)
                           : ((static_cast<u128>(1) << w) - 1));
     }
-    if (!run_vector(assign)) return res;
+    if (!push(assign)) return res;
   }
+  flush();
   return res;
 }
 

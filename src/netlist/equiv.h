@@ -2,10 +2,12 @@
 //
 // Compares two combinational circuits that expose the same named input and
 // output ports, by simulation: directed corner patterns (all-zeros,
-// all-ones, walking ones, per-port extremes) plus random vectors.  This is
-// a falsifier, not a prover -- but for the generator-vs-generator checks
-// it backs (same function, different architecture), a disagreement is
-// found within a handful of vectors in practice, and the test suites
+// all-ones, walking ones, per-port extremes) plus random vectors, driven
+// through the 64-way bit-parallel PackSim -- 64 vectors per evaluation
+// pass, which is what makes the 20000-vector default random budget cheap.
+// This is a falsifier, not a prover -- but for the generator-vs-generator
+// checks it backs (same function, different architecture), a disagreement
+// is found within a handful of vectors in practice, and the test suites
 // additionally verify each generator against word-level models.
 #pragma once
 
@@ -19,17 +21,21 @@ namespace mfm::netlist {
 
 /// Result of an equivalence run.
 struct EquivResult {
-  bool equivalent = true;       ///< no differing vector found
-  std::uint64_t vectors = 0;    ///< vectors simulated
-  std::string counterexample;   ///< description of the first mismatch
+  bool equivalent = true;     ///< no differing vector found
+  std::uint64_t vectors = 0;  ///< vectors simulated
+  /// On a mismatch: the earliest failing input assignment plus the
+  /// lhs/rhs value of EVERY shared output port under it, with the
+  /// differing ports flagged (not just the first mismatching port).
+  std::string counterexample;
 };
 
 /// Checks that @p lhs and @p rhs agree on every shared output port for
-/// directed + @p random_vectors random input assignments.  Both circuits
-/// must declare identical input-port names/widths; output ports present
-/// in both are compared.  Sequential circuits are rejected (flops != 0).
+/// directed + @p random_vectors random input assignments (64 vectors per
+/// PackSim evaluation).  Both circuits must declare identical input-port
+/// names/widths; output ports present in both are compared.  Sequential
+/// circuits are rejected (flops != 0).
 EquivResult check_equivalence(const Circuit& lhs, const Circuit& rhs,
-                              int random_vectors = 2000,
+                              int random_vectors = 20000,
                               std::uint64_t seed = 0xEC);
 
 }  // namespace mfm::netlist

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <array>
 #include <cstdio>
+#include <optional>
 #include <sstream>
 
+#include "netlist/compiled.h"
 #include "netlist/structural_hash.h"
 
 namespace mfm::netlist {
@@ -200,38 +202,38 @@ unsigned live_pins(GateKind k, const Tern v[4]) {
 /// transparent (the circuit is feed-forward, see netlist/ternary.h).
 class SupportMap {
  public:
-  SupportMap(const Circuit& c, const TernaryResult& tern,
+  SupportMap(const CompiledCircuit& cc, const TernaryResult& tern,
              const std::vector<std::uint8_t>& pinned) {
-    const auto& inputs = c.primary_inputs();
-    input_ordinal_.assign(c.size(), -1);
+    const auto& inputs = cc.circuit().primary_inputs();
+    input_ordinal_.assign(cc.size(), -1);
     for (std::size_t i = 0; i < inputs.size(); ++i)
       input_ordinal_[inputs[i]] = static_cast<int>(i);
     words_ = (inputs.size() + 63) / 64;
-    bits_.assign(c.size() * words_, 0);
+    bits_.assign(cc.size() * words_, 0);
 
-    for (NetId i = 0; i < c.size(); ++i) {
-      const Gate& g = c.gate(i);
+    for (NetId i = 0; i < cc.size(); ++i) {
+      const GateKind k = cc.kind(i);
+      const auto fanin = cc.fanin(i);
       std::uint64_t* sup = row(i);
-      if (g.kind == GateKind::Input) {
+      if (k == GateKind::Input) {
         if (!pinned[i]) {
           const int ord = input_ordinal_[i];
           sup[ord / 64] |= 1ull << (ord % 64);
         }
         continue;
       }
-      if (g.kind == GateKind::Const0 || g.kind == GateKind::Const1) continue;
+      if (k == GateKind::Const0 || k == GateKind::Const1) continue;
       if (pinned[i] || tern_is_const(tern.value[i])) continue;
-      if (g.kind == GateKind::Dff) {
-        or_into(sup, row(g.in[0]));
+      if (k == GateKind::Dff) {
+        or_into(sup, row(fanin[0]));
         continue;
       }
       Tern v[4] = {kX, kX, kX, kX};
-      const int nin = fanin_count(g.kind);
-      for (int p = 0; p < nin; ++p)
-        v[p] = tern.value[g.in[static_cast<std::size_t>(p)]];
-      const unsigned live = live_pins(g.kind, v);
-      for (int p = 0; p < nin; ++p)
-        if (live & (1u << p)) or_into(sup, row(g.in[static_cast<std::size_t>(p)]));
+      for (std::size_t p = 0; p < fanin.size(); ++p)
+        v[p] = tern.value[fanin[p]];
+      const unsigned live = live_pins(k, v);
+      for (std::size_t p = 0; p < fanin.size(); ++p)
+        if (live & (1u << p)) or_into(sup, row(fanin[p]));
     }
   }
 
@@ -324,6 +326,15 @@ LintReport lint_circuit(const Circuit& c, const LintOptions& options) {
     if (is_comb(k) || k == GateKind::Dff) ++module_of(i).gates;
   }
 
+  // One shared structural compilation backs every value-based rule
+  // (ternary propagation, the cone-of-influence supports, backward
+  // observability, fanout counts).  Built only after the structure rule
+  // validated the circuit -- CompiledCircuit requires a well-formed DAG.
+  std::optional<CompiledCircuit> compiled;
+  if (valid && (options.check_constants || options.check_unobservable ||
+                options.check_fanout || !options.lanes.empty()))
+    compiled.emplace(c);
+
   // constant -- ternary propagation under the pins.
   std::vector<std::uint8_t> pinned(c.size(), 0);
   for (const TernaryPin& p : options.pins)
@@ -331,7 +342,7 @@ LintReport lint_circuit(const Circuit& c, const LintOptions& options) {
 
   TernaryResult steady;
   if (valid && (options.check_constants || !options.lanes.empty())) {
-    steady = ternary_propagate(c, options.pins);
+    steady = ternary_propagate(*compiled, options.pins);
   }
   if (valid && options.check_constants) {
     rep.constant_ran = true;
@@ -360,8 +371,8 @@ LintReport lint_circuit(const Circuit& c, const LintOptions& options) {
 
     // First-cycle pass: which output bits expose uninitialized flops?
     if (!c.flops().empty()) {
-      const TernaryResult first =
-          ternary_propagate(c, options.pins, {.flops_transparent = false});
+      const TernaryResult first = ternary_propagate(
+          *compiled, options.pins, {.flops_transparent = false});
       for (const auto& [name, bus] : c.out_ports()) {
         (void)name;
         for (const NetId n : bus)
@@ -378,7 +389,7 @@ LintReport lint_circuit(const Circuit& c, const LintOptions& options) {
 
   // lane-isolation -- cone-of-influence proofs under the pins.
   if (valid && !options.lanes.empty()) {
-    const SupportMap support(c, steady, pinned);
+    const SupportMap support(*compiled, steady, pinned);
     for (const LaneSpec& lane : options.lanes) {
       LaneResult res;
       res.name = lane.name;
@@ -456,10 +467,7 @@ LintReport lint_circuit(const Circuit& c, const LintOptions& options) {
     while (!stack.empty()) {
       const NetId n = stack.back();
       stack.pop_back();
-      const Gate& g = c.gate(n);
-      const int nin = fanin_count(g.kind);
-      for (int p = 0; p < nin; ++p) {
-        const NetId in = g.in[static_cast<std::size_t>(p)];
+      for (const NetId in : compiled->fanin(n)) {
         if (!reach[in]) {
           reach[in] = 1;
           stack.push_back(in);
@@ -477,15 +485,12 @@ LintReport lint_circuit(const Circuit& c, const LintOptions& options) {
     }
   }
 
-  // fanout -- histogram, hot nets, buffer chains.
+  // fanout -- histogram, hot nets, buffer chains (counts come from the
+  // shared CSR adjacency; no private fanout table).
   if (valid && options.check_fanout) {
     rep.fanout_ran = true;
-    std::vector<int> fanout(c.size(), 0);
     for (NetId i = 0; i < c.size(); ++i) {
       const Gate& g = c.gate(i);
-      const int nin = fanin_count(g.kind);
-      for (int p = 0; p < nin; ++p)
-        ++fanout[g.in[static_cast<std::size_t>(p)]];
       if ((g.kind == GateKind::Buf && c.gate(g.in[0]).kind == GateKind::Buf) ||
           (g.kind == GateKind::Not && c.gate(g.in[0]).kind == GateKind::Not)) {
         ++rep.buffer_chain_gates;
@@ -499,7 +504,7 @@ LintReport lint_circuit(const Circuit& c, const LintOptions& options) {
     for (NetId i = 0; i < c.size(); ++i) {
       const GateKind k = c.gate(i).kind;
       if (k == GateKind::Const0 || k == GateKind::Const1) continue;
-      const int f = fanout[i];
+      const int f = compiled->fanout_count(i);
       int b = 0;
       if (f > 0) {
         b = 1;

@@ -26,46 +26,39 @@ std::uint64_t ActivityCounts::total_toggles() const {
   return sum;
 }
 
+EventSim::EventSim(const CompiledCircuit& cc, const TechLib& lib)
+    : cc_(&cc),
+      c_(cc.circuit()),
+      lib_(lib),
+      values_(cc.size(), 0),
+      staged_pi_(cc.size(), 0),
+      state_(cc.flop_count(), 0),
+      toggles_(cc.size(), 0),
+      latest_seq_(cc.size(), 0) {
+  settle_initial_state();
+}
+
 EventSim::EventSim(const Circuit& c, const TechLib& lib)
-    : c_(c),
+    : owned_(std::make_unique<CompiledCircuit>(c)),
+      cc_(owned_.get()),
+      c_(c),
       lib_(lib),
       values_(c.size(), 0),
       staged_pi_(c.size(), 0),
       state_(c.flops().size(), 0),
-      flop_ordinal_(c.size(), 0),
       toggles_(c.size(), 0),
       latest_seq_(c.size(), 0) {
-  for (std::size_t i = 0; i < c.flops().size(); ++i)
-    flop_ordinal_[c.flops()[i]] = static_cast<std::uint32_t>(i);
+  settle_initial_state();
+}
 
-  // Build CSR fan-out lists.
-  std::vector<std::uint32_t> deg(c.size() + 1, 0);
-  for (NetId g = 0; g < c.size(); ++g) {
-    const Gate& gate = c.gate(g);
-    const int nin = fanin_count(gate.kind);
-    for (int p = 0; p < nin; ++p) ++deg[gate.in[p]];
-  }
-  fanout_off_.assign(c.size() + 1, 0);
-  for (std::size_t i = 0; i < c.size(); ++i)
-    fanout_off_[i + 1] = fanout_off_[i] + deg[i];
-  fanout_.resize(fanout_off_.back());
-  std::vector<std::uint32_t> fill(c.size(), 0);
-  for (NetId g = 0; g < c.size(); ++g) {
-    const Gate& gate = c.gate(g);
-    const int nin = fanin_count(gate.kind);
-    for (int p = 0; p < nin; ++p) {
-      const NetId src = gate.in[p];
-      fanout_[fanout_off_[src] + fill[src]++] = g;
-    }
-  }
-
-  // Settle the initial state (all inputs 0): evaluate levelized once so the
-  // first cycle's transition counts are relative to a consistent state.
-  for (NetId g = 0; g < c.size(); ++g) {
-    const Gate& gate = c.gate(g);
+// Settle the initial state (all inputs 0): evaluate levelized once so the
+// first cycle's transition counts are relative to a consistent state.
+void EventSim::settle_initial_state() {
+  for (NetId g = 0; g < c_.size(); ++g) {
+    const Gate& gate = c_.gate(g);
     if (gate.kind == GateKind::Input) continue;
     if (gate.kind == GateKind::Dff) {
-      values_[g] = state_[flop_ordinal_[g]];
+      values_[g] = state_[cc_->flop_ordinal(g)];
       continue;
     }
     const bool a = gate.in[0] != kNoNet && values_[gate.in[0]] != 0;
@@ -100,9 +93,10 @@ void EventSim::seed_change(NetId net, bool v, double at_ps) {
   values_[net] = v ? 1 : 0;
   ++toggles_[net];
   ++events_;
-  // Schedule re-evaluation of every fan-out gate.
-  for (std::uint32_t i = fanout_off_[net]; i < fanout_off_[net + 1]; ++i) {
-    const NetId g = fanout_[i];
+  // Schedule re-evaluation of every fan-out gate (shared CSR adjacency;
+  // row order matches the historical private table, so the event
+  // sequence -- and every toggle count -- is unchanged).
+  for (const NetId g : cc_->fanout(net)) {
     const Gate& gate = c_.gate(g);
     if (gate.kind == GateKind::Dff) continue;  // sampled at end of cycle
     const bool a = gate.in[0] != kNoNet && values_[gate.in[0]] != 0;

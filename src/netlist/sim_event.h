@@ -11,11 +11,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/u128.h"
 #include "netlist/circuit.h"
+#include "netlist/compiled.h"
 #include "netlist/techlib.h"
 
 namespace mfm::netlist {
@@ -45,6 +47,11 @@ struct ActivityCounts {
 /// Transition counts accumulate across cycles in toggles().
 class EventSim {
  public:
+  /// Simulates over a shared compilation: @p cc is read-only and may back
+  /// any number of concurrent EventSims (the sharded power engine builds
+  /// one CompiledCircuit per measurement and hands it to every worker).
+  EventSim(const CompiledCircuit& cc, const TechLib& lib);
+  /// Convenience: compiles @p c privately.
   EventSim(const Circuit& c, const TechLib& lib);
 
   /// Stages the next value of a primary input (applied by cycle()).
@@ -75,6 +82,7 @@ class EventSim {
  private:
   void seed_change(NetId net, bool v, double at_ps);
   void propagate();
+  void settle_initial_state();
 
   struct Event {
     double time;
@@ -87,17 +95,15 @@ class EventSim {
     }
   };
 
+  std::unique_ptr<const CompiledCircuit> owned_;  // Circuit ctor only
+  const CompiledCircuit* cc_;  // flop ordinals + CSR fan-out live here
   const Circuit& c_;
   const TechLib& lib_;
   std::vector<std::uint8_t> values_;
   std::vector<std::uint8_t> staged_pi_;
   std::vector<std::uint8_t> state_;            // DFF state by flop ordinal
-  std::vector<std::uint32_t> flop_ordinal_;
   std::vector<std::uint64_t> toggles_;
   std::vector<std::uint64_t> latest_seq_;  // inertial cancellation marker
-  // CSR fan-out adjacency: gates driven by each net.
-  std::vector<std::uint32_t> fanout_off_;
-  std::vector<NetId> fanout_;
   std::vector<Event> heap_;
   std::uint64_t seq_ = 0;
   std::uint64_t cycles_ = 0;

@@ -4,18 +4,21 @@
 
 namespace mfm::netlist {
 
+LevelSim::LevelSim(const CompiledCircuit& cc)
+    : cc_(&cc), values_(cc.size(), 0), state_(cc.flop_count(), 0) {
+  eval();
+}
+
 LevelSim::LevelSim(const Circuit& c)
-    : c_(c),
+    : owned_(std::make_unique<CompiledCircuit>(c)),
+      cc_(owned_.get()),
       values_(c.size(), 0),
-      state_(c.flops().size(), 0),
-      flop_ordinal_(c.size(), 0) {
-  for (std::size_t i = 0; i < c.flops().size(); ++i)
-    flop_ordinal_[c.flops()[i]] = static_cast<std::uint32_t>(i);
+      state_(c.flops().size(), 0) {
   eval();
 }
 
 void LevelSim::set(NetId input_net, bool v) {
-  assert(c_.gate(input_net).kind == GateKind::Input);
+  assert(cc_->kind(input_net) == GateKind::Input);
   values_[input_net] = v ? 1 : 0;
 }
 
@@ -25,18 +28,18 @@ void LevelSim::set_bus(const Bus& bus, u128 value) {
 }
 
 void LevelSim::set_port(const std::string& name, u128 value) {
-  set_bus(c_.in_port(name), value);
+  set_bus(cc_->circuit().in_port(name), value);
 }
 
 void LevelSim::eval() {
-  const auto& gates = c_.gates();
+  const auto& gates = cc_->circuit().gates();
   for (std::size_t i = 0; i < gates.size(); ++i) {
     const Gate& g = gates[i];
     switch (g.kind) {
       case GateKind::Input:
         break;  // externally driven
       case GateKind::Dff:
-        values_[i] = state_[flop_ordinal_[i]];
+        values_[i] = state_[cc_->flop_ordinal(static_cast<NetId>(i))];
         break;
       default: {
         const bool a = g.in[0] != kNoNet && values_[g.in[0]] != 0;
@@ -51,8 +54,9 @@ void LevelSim::eval() {
 }
 
 void LevelSim::clock() {
-  for (std::size_t i = 0; i < c_.flops().size(); ++i) {
-    const Gate& g = c_.gate(c_.flops()[i]);
+  const Circuit& c = cc_->circuit();
+  for (std::size_t i = 0; i < c.flops().size(); ++i) {
+    const Gate& g = c.gate(c.flops()[i]);
     state_[i] = values_[g.in[0]];
   }
 }
@@ -66,7 +70,7 @@ u128 LevelSim::read_bus(const Bus& bus) const {
 }
 
 u128 LevelSim::read_port(const std::string& name) const {
-  return read_bus(c_.out_port(name));
+  return read_bus(cc_->circuit().out_port(name));
 }
 
 }  // namespace mfm::netlist

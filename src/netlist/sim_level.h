@@ -2,21 +2,29 @@
 //
 // Evaluates the whole circuit in construction order (which is topological),
 // treating DFF outputs as state sourced from the previous clock edge.  Used
-// for functional verification; see EventSim for the timing/power simulator.
+// for functional verification; see EventSim for the timing/power simulator
+// and PackSim for the 64-way bit-parallel variant.  Flop ordinals come from
+// the shared CompiledCircuit -- the simulator builds no structure tables of
+// its own.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/u128.h"
 #include "netlist/circuit.h"
+#include "netlist/compiled.h"
 
 namespace mfm::netlist {
 
 /// Two-valued zero-delay simulator over a frozen Circuit.
 class LevelSim {
  public:
+  /// Simulates over a shared compilation (@p cc must outlive the sim).
+  explicit LevelSim(const CompiledCircuit& cc);
+  /// Convenience: compiles @p c privately.
   explicit LevelSim(const Circuit& c);
 
   /// Sets the value of a primary-input net (does not re-evaluate).
@@ -44,10 +52,10 @@ class LevelSim {
   u128 read_port(const std::string& name) const;
 
  private:
-  const Circuit& c_;
+  std::unique_ptr<const CompiledCircuit> owned_;  // Circuit ctor only
+  const CompiledCircuit* cc_;
   std::vector<std::uint8_t> values_;  // current net values
   std::vector<std::uint8_t> state_;   // DFF states, indexed by flop ordinal
-  std::vector<std::uint32_t> flop_ordinal_;  // net id -> ordinal (flops only)
 };
 
 }  // namespace mfm::netlist

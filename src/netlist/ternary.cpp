@@ -70,44 +70,45 @@ Tern eval_gate_ternary(GateKind k, Tern a, Tern b, Tern c, Tern d) {
   return kX;
 }
 
-TernaryResult ternary_propagate(const Circuit& c,
+TernaryResult ternary_propagate(const CompiledCircuit& cc,
                                 const std::vector<TernaryPin>& pins,
                                 const TernaryOptions& options) {
   TernaryResult r;
-  r.value.assign(c.size(), kX);
+  r.value.assign(cc.size(), kX);
 
   // Pin lookup; pins override whatever the driver computes.
-  std::vector<std::uint8_t> pinned(c.size(), 0);
+  std::vector<std::uint8_t> pinned(cc.size(), 0);
   for (const TernaryPin& p : pins) {
-    if (p.net >= c.size()) continue;
+    if (p.net >= cc.size()) continue;
     pinned[p.net] = 1;
     r.value[p.net] = tern_of(p.value);
   }
 
-  for (NetId i = 0; i < c.size(); ++i) {
+  for (NetId i = 0; i < cc.size(); ++i) {
     if (pinned[i]) continue;
-    const Gate& g = c.gate(i);
+    const GateKind k = cc.kind(i);
+    const auto fanin = cc.fanin(i);
     Tern v;
-    switch (g.kind) {
+    switch (k) {
       case GateKind::Const0: v = k0; break;
       case GateKind::Const1: v = k1; break;
       case GateKind::Input:  v = kX; break;
       case GateKind::Dff:
-        v = options.flops_transparent ? r.value[g.in[0]] : kX;
+        v = options.flops_transparent ? r.value[fanin[0]] : kX;
         break;
       default: {
         Tern in[4] = {kX, kX, kX, kX};
-        const int nin = fanin_count(g.kind);
-        for (int p = 0; p < nin; ++p) in[p] = r.value[g.in[static_cast<std::size_t>(p)]];
-        v = eval_gate_ternary(g.kind, in[0], in[1], in[2], in[3]);
+        for (std::size_t p = 0; p < fanin.size(); ++p)
+          in[p] = r.value[fanin[p]];
+        v = eval_gate_ternary(k, in[0], in[1], in[2], in[3]);
         break;
       }
     }
     r.value[i] = v;
   }
 
-  for (NetId i = 0; i < c.size(); ++i) {
-    const GateKind k = c.gate(i).kind;
+  for (NetId i = 0; i < cc.size(); ++i) {
+    const GateKind k = cc.kind(i);
     if (k == GateKind::Const0 || k == GateKind::Const1 ||
         k == GateKind::Input)
       continue;
@@ -123,4 +124,11 @@ TernaryResult ternary_propagate(const Circuit& c,
   return r;
 }
 
+TernaryResult ternary_propagate(const Circuit& c,
+                                const std::vector<TernaryPin>& pins,
+                                const TernaryOptions& options) {
+  return ternary_propagate(CompiledCircuit(c), pins, options);
+}
+
 }  // namespace mfm::netlist
+

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "netlist/circuit.h"
+#include "netlist/compiled.h"
 
 namespace mfm::netlist {
 
@@ -59,8 +60,16 @@ struct TernaryResult {
   Tern at(NetId n) const { return value[n]; }
 };
 
-/// Runs one topological constant-propagation pass under @p pins.
-/// Pinned values override the driver's computed value.
+/// Runs one topological constant-propagation pass under @p pins over a
+/// shared compilation.  Pinned values override the driver's computed
+/// value.
+TernaryResult ternary_propagate(const CompiledCircuit& cc,
+                                const std::vector<TernaryPin>& pins = {},
+                                const TernaryOptions& options = {});
+
+/// Convenience overload: compiles @p c privately, then propagates.
+/// Callers that run several analyses on one circuit (lint does) should
+/// build the CompiledCircuit once and use the overload above.
 TernaryResult ternary_propagate(const Circuit& c,
                                 const std::vector<TernaryPin>& pins = {},
                                 const TernaryOptions& options = {});

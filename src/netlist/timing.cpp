@@ -18,31 +18,41 @@ std::string truncate_module(const std::string& path, int depth) {
 
 }  // namespace
 
+Sta::Sta(const CompiledCircuit& cc, const TechLib& lib)
+    : cc_(&cc), lib_(lib), arrival_(cc.size(), 0.0) {
+  analyze();
+}
+
 Sta::Sta(const Circuit& c, const TechLib& lib)
-    : c_(c), lib_(lib), arrival_(c.size(), 0.0) {
-  const auto& gates = c.gates();
-  for (NetId i = 0; i < gates.size(); ++i) {
-    const Gate& g = gates[i];
-    switch (g.kind) {
+    : owned_(std::make_unique<CompiledCircuit>(c)),
+      cc_(owned_.get()),
+      lib_(lib),
+      arrival_(c.size(), 0.0) {
+  analyze();
+}
+
+void Sta::analyze() {
+  const CompiledCircuit& cc = *cc_;
+  for (NetId i = 0; i < cc.size(); ++i) {
+    switch (cc.kind(i)) {
       case GateKind::Const0:
       case GateKind::Const1:
       case GateKind::Input:
         arrival_[i] = 0.0;
         break;
       case GateKind::Dff:
-        arrival_[i] = lib.clk_to_q_ps();
+        arrival_[i] = lib_.clk_to_q_ps();
         break;
       default: {
         double t = 0.0;
-        const int nin = fanin_count(g.kind);
-        for (int p = 0; p < nin; ++p)
-          t = std::max(t, arrival_[g.in[p]]);
-        arrival_[i] = t + lib.delay_ps(g.kind);
+        for (const NetId src : cc.fanin(i)) t = std::max(t, arrival_[src]);
+        arrival_[i] = t + lib_.delay_ps(cc.kind(i));
         break;
       }
     }
   }
 
+  const Circuit& c = cc.circuit();
   // Endpoints: primary outputs ...
   for (const auto& [name, bus] : c.out_ports()) {
     (void)name;
@@ -56,7 +66,7 @@ Sta::Sta(const Circuit& c, const TechLib& lib)
   // ... and DFF D pins (+ setup).
   for (NetId f : c.flops()) {
     const NetId d = c.gate(f).in[0];
-    const double t = arrival_[d] + lib.setup_ps();
+    const double t = arrival_[d] + lib_.setup_ps();
     if (t > max_delay_ps_) {
       max_delay_ps_ = t;
       worst_endpoint_ = d;
@@ -65,6 +75,7 @@ Sta::Sta(const Circuit& c, const TechLib& lib)
 }
 
 CriticalPath Sta::critical_path(int module_depth) const {
+  const Circuit& c = cc_->circuit();
   CriticalPath cp;
   cp.delay_ps = max_delay_ps_;
   if (worst_endpoint_ == kNoNet) return cp;
@@ -74,24 +85,23 @@ CriticalPath Sta::critical_path(int module_depth) const {
   NetId n = worst_endpoint_;
   for (;;) {
     rev.push_back(n);
-    const Gate& g = c_.gate(n);
-    const int nin = fanin_count(g.kind);
-    if (nin == 0 || g.kind == GateKind::Dff) break;
-    NetId best = g.in[0];
-    for (int p = 1; p < nin; ++p)
-      if (arrival_[g.in[p]] > arrival_[best]) best = g.in[p];
+    const auto fanin = cc_->fanin(n);
+    if (fanin.empty() || cc_->kind(n) == GateKind::Dff) break;
+    NetId best = fanin[0];
+    for (const NetId src : fanin)
+      if (arrival_[src] > arrival_[best]) best = src;
     n = best;
   }
   cp.nets.assign(rev.rbegin(), rev.rend());
 
   // Group consecutive gates by truncated module label.
   for (NetId net : cp.nets) {
-    const Gate& g = c_.gate(net);
+    const Gate& g = c.gate(net);
     const double d =
         (g.kind == GateKind::Dff) ? lib_.clk_to_q_ps() : lib_.delay_ps(g.kind);
     if (d == 0.0 && fanin_count(g.kind) == 0) continue;
     const std::string label =
-        truncate_module(c_.module_path(g.module), module_depth);
+        truncate_module(c.module_path(g.module), module_depth);
     if (cp.segments.empty() || cp.segments.back().module != label)
       cp.segments.push_back(PathSegment{label, 0.0, 0});
     cp.segments.back().delay_ps += d;
@@ -101,9 +111,10 @@ CriticalPath Sta::critical_path(int module_depth) const {
 }
 
 double Sta::module_settle_ps(const std::string& prefix) const {
+  const Circuit& c = cc_->circuit();
   double worst = 0.0;
-  for (NetId i = 0; i < c_.size(); ++i) {
-    const std::string& path = c_.module_path(c_.gate(i).module);
+  for (NetId i = 0; i < c.size(); ++i) {
+    const std::string& path = c.module_path(c.gate(i).module);
     if (path.compare(0, prefix.size(), prefix) == 0)
       worst = std::max(worst, arrival_[i]);
   }

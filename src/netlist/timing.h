@@ -7,10 +7,12 @@
 // period.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "netlist/circuit.h"
+#include "netlist/compiled.h"
 #include "netlist/techlib.h"
 
 namespace mfm::netlist {
@@ -32,6 +34,9 @@ struct CriticalPath {
 /// Static timing analyzer.
 class Sta {
  public:
+  /// Analyzes over a shared compilation (@p cc must outlive the Sta).
+  Sta(const CompiledCircuit& cc, const TechLib& lib);
+  /// Convenience: compiles @p c privately.
   Sta(const Circuit& c, const TechLib& lib);
 
   /// Arrival time of a net [ps].
@@ -55,7 +60,10 @@ class Sta {
   double module_settle_ps(const std::string& prefix) const;
 
  private:
-  const Circuit& c_;
+  void analyze();
+
+  std::unique_ptr<const CompiledCircuit> owned_;  // Circuit ctor only
+  const CompiledCircuit* cc_;
   const TechLib& lib_;
   std::vector<double> arrival_;
   double max_delay_ps_ = 0.0;

@@ -10,6 +10,7 @@
 
 #include "common/env.h"
 #include "common/parallel.h"
+#include "netlist/compiled.h"
 #include "netlist/sim_event.h"
 
 namespace mfm::power {
@@ -37,13 +38,15 @@ int shard_count(int vectors) {
 }
 
 /// Runs @p vectors of work split into fixed-size shards across
-/// @p threads workers.  @p run_shard(sim, shard_index, shard_vectors)
-/// drives one shard's private simulator.  Shards merge in index order;
-/// since toggle counts are integers the merge is order-insensitive
-/// anyway, and the single report computed from the merged counts is
-/// bit-deterministic.
+/// @p threads workers.  The structural compilation @p cc is built ONCE
+/// per measurement by the caller and shared read-only by every shard's
+/// private EventSim (it is immutable, so no synchronization is needed).
+/// @p run_shard(sim, shard_index, shard_vectors) drives one shard's
+/// simulator.  Shards merge in index order; since toggle counts are
+/// integers the merge is order-insensitive anyway, and the single
+/// report computed from the merged counts is bit-deterministic.
 template <typename RunShard>
-netlist::ActivityCounts run_sharded(const netlist::Circuit& circuit,
+netlist::ActivityCounts run_sharded(const netlist::CompiledCircuit& cc,
                                     int vectors, int threads,
                                     const RunShard& run_shard) {
   const auto& lib = netlist::TechLib::lp45();
@@ -51,7 +54,7 @@ netlist::ActivityCounts run_sharded(const netlist::Circuit& circuit,
   std::vector<netlist::ActivityCounts> per_shard(
       static_cast<std::size_t>(std::max(shards, 1)));
   common::parallel_for(shards, threads, [&](int s) {
-    netlist::EventSim sim(circuit, lib);
+    netlist::EventSim sim(cc, lib);
     const int quota =
         std::min(kShardVectors, vectors - s * kShardVectors);
     run_shard(sim, s, quota);
@@ -77,9 +80,11 @@ FormatPower measure_mf_parallel(const mf::MfUnit& unit, Workload workload,
                                 int vectors, double fmax_mhz,
                                 int ops_per_cycle, int threads) {
   if (threads <= 0) threads = bench_threads();
+  const auto tc = std::chrono::steady_clock::now();
+  const netlist::CompiledCircuit cc(*unit.circuit);
   const auto t0 = std::chrono::steady_clock::now();
   const netlist::ActivityCounts merged = run_sharded(
-      *unit.circuit, vectors, threads,
+      cc, vectors, threads,
       [&](netlist::EventSim& sim, int s, int quota) {
         OperandGen gen(workload, shard_seed(0x5EED, s));
         for (int i = 0; i < quota; ++i) {
@@ -106,6 +111,7 @@ FormatPower measure_mf_parallel(const mf::MfUnit& unit, Workload workload,
       out.mw_fmax > 0.0 ? out.gflops / (out.mw_fmax / 1000.0) : 0.0;
   out.toggles = merged.total_toggles();
   out.events = merged.events;
+  out.compile_s = std::chrono::duration<double>(t0 - tc).count();
   out.wall_s = std::chrono::duration<double>(t1 - t0).count();
   return out;
 }
@@ -120,9 +126,11 @@ MultiplierPower measure_multiplier_parallel(const mult::MultiplierUnit& unit,
                                             int vectors, double freq_mhz,
                                             std::uint64_t seed, int threads) {
   if (threads <= 0) threads = bench_threads();
+  const auto tc = std::chrono::steady_clock::now();
+  const netlist::CompiledCircuit cc(*unit.circuit);
   const auto t0 = std::chrono::steady_clock::now();
   const netlist::ActivityCounts merged = run_sharded(
-      *unit.circuit, vectors, threads,
+      cc, vectors, threads,
       [&](netlist::EventSim& sim, int s, int quota) {
         std::mt19937_64 rng(shard_seed(seed, s));
         for (int i = 0; i < quota; ++i) {
@@ -138,6 +146,7 @@ MultiplierPower measure_multiplier_parallel(const mult::MultiplierUnit& unit,
   out.report = pm.report(merged, freq_mhz);
   out.toggles = merged.total_toggles();
   out.events = merged.events;
+  out.compile_s = std::chrono::duration<double>(t0 - tc).count();
   out.wall_s = std::chrono::duration<double>(t1 - t0).count();
   return out;
 }

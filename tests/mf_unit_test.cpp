@@ -3,23 +3,29 @@
 // integration, and the Fig. 5 timing story.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
 #include <memory>
 #include <random>
+#include <vector>
 
 #include "fp/softfloat.h"
 #include "mf/fp_reduce.h"
 #include "mf/mf_model.h"
 #include "mf/mf_unit.h"
+#include "netlist/compiled.h"
 #include "netlist/power.h"
 #include "netlist/sim_event.h"
 #include "netlist/sim_level.h"
+#include "netlist/sim_pack.h"
 #include "netlist/timing.h"
 
 namespace mfm::mf {
 namespace {
 
+using netlist::CompiledCircuit;
 using netlist::LevelSim;
+using netlist::PackSim;
 using netlist::Sta;
 using netlist::TechLib;
 
@@ -38,19 +44,28 @@ std::uint64_t rand_fp32_pair(std::mt19937_64& rng) {
   return (one() << 32) | one();
 }
 
-// Shared combinational unit (building it is the expensive part).
+// Shared combinational unit (building it is the expensive part).  One
+// CompiledCircuit backs both the scalar LevelSim (run()) and the 64-way
+// PackSim (run_packed()); the model-match sweeps batch through PackSim,
+// which is what makes the 15000-vector budgets cheap.
 class MfUnitComb : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     MfOptions opt;
     opt.pipeline = MfPipeline::Combinational;
     unit_ = new MfUnit(build_mf_unit(opt));
-    sim_ = new LevelSim(*unit_->circuit);
+    cc_ = new CompiledCircuit(*unit_->circuit);
+    sim_ = new LevelSim(*cc_);
+    psim_ = new PackSim(*cc_);
   }
   static void TearDownTestSuite() {
+    delete psim_;
     delete sim_;
+    delete cc_;
     delete unit_;
+    psim_ = nullptr;
     sim_ = nullptr;
+    cc_ = nullptr;
     unit_ = nullptr;
   }
   static Ports run(Format f, std::uint64_t a, std::uint64_t b) {
@@ -61,21 +76,59 @@ class MfUnitComb : public ::testing::Test {
     return Ports{static_cast<std::uint64_t>(sim_->read_port("ph")),
                  static_cast<std::uint64_t>(sim_->read_port("pl"))};
   }
+
+  struct PackOp {
+    Format f;
+    std::uint64_t a, b;
+  };
+  /// Streams @p ops through PackSim 64 per evaluation pass (lanes may mix
+  /// formats -- frmt is just another input port) and calls
+  /// check(op_index, ports) for every op.
+  template <typename Check>
+  static void run_packed(const std::vector<PackOp>& ops, const Check& check) {
+    for (std::size_t base = 0; base < ops.size();
+         base += PackSim::kLanes) {
+      const std::size_t n =
+          std::min<std::size_t>(PackSim::kLanes, ops.size() - base);
+      for (std::size_t l = 0; l < n; ++l) {
+        const int lane = static_cast<int>(l);
+        psim_->set_port("a", lane, ops[base + l].a);
+        psim_->set_port("b", lane, ops[base + l].b);
+        psim_->set_port("frmt", lane, frmt_bits(ops[base + l].f));
+      }
+      psim_->eval();
+      for (std::size_t l = 0; l < n; ++l) {
+        const int lane = static_cast<int>(l);
+        check(base + l,
+              Ports{static_cast<std::uint64_t>(psim_->read_port("ph", lane)),
+                    static_cast<std::uint64_t>(
+                        psim_->read_port("pl", lane))});
+      }
+    }
+  }
+
   static MfUnit* unit_;
+  static CompiledCircuit* cc_;
   static LevelSim* sim_;
+  static PackSim* psim_;
 };
 MfUnit* MfUnitComb::unit_ = nullptr;
+CompiledCircuit* MfUnitComb::cc_ = nullptr;
 LevelSim* MfUnitComb::sim_ = nullptr;
+PackSim* MfUnitComb::psim_ = nullptr;
 
 TEST_F(MfUnitComb, Int64MatchesModel) {
   std::mt19937_64 rng(11);
-  for (int i = 0; i < 1500; ++i) {
+  std::vector<PackOp> ops;
+  for (int i = 0; i < 15000; ++i) {
     const std::uint64_t x = rng(), y = rng();
-    const Ports got = run(Format::Int64, x, y);
-    const Ports want = execute(Format::Int64, x, y);
-    ASSERT_EQ(got.ph, want.ph);
-    ASSERT_EQ(got.pl, want.pl);
+    ops.push_back({Format::Int64, x, y});
   }
+  run_packed(ops, [&](std::size_t i, const Ports& got) {
+    const Ports want = execute(Format::Int64, ops[i].a, ops[i].b);
+    ASSERT_EQ(got.ph, want.ph) << "op " << i;
+    ASSERT_EQ(got.pl, want.pl) << "op " << i;
+  });
   const Ports corner = run(Format::Int64, ~0ull, ~0ull);
   EXPECT_EQ(corner.ph, 0xFFFFFFFFFFFFFFFEull);
   EXPECT_EQ(corner.pl, 1ull);
@@ -83,9 +136,11 @@ TEST_F(MfUnitComb, Int64MatchesModel) {
 
 TEST_F(MfUnitComb, Fp64MatchesModelAndSoftfloat) {
   std::mt19937_64 rng(12);
-  for (int i = 0; i < 1500; ++i) {
-    const std::uint64_t a = rand_fp64(rng), b = rand_fp64(rng);
-    const Ports got = run(Format::Fp64, a, b);
+  std::vector<PackOp> ops;
+  for (int i = 0; i < 15000; ++i)
+    ops.push_back({Format::Fp64, rand_fp64(rng), rand_fp64(rng)});
+  run_packed(ops, [&](std::size_t i, const Ports& got) {
+    const std::uint64_t a = ops[i].a, b = ops[i].b;
     ASSERT_EQ(got.ph, fp64_mul(a, b)) << std::hex << a << "," << b;
     ASSERT_EQ(got.pl, 0u);
     const std::uint32_t ea = (a >> 52) & 0x7FF, eb = (b >> 52) & 0x7FF;
@@ -94,18 +149,44 @@ TEST_F(MfUnitComb, Fp64MatchesModelAndSoftfloat) {
           fp::multiply(a, b, fp::kBinary64, fp::Rounding::NearestTiesUp);
       ASSERT_EQ(got.ph, static_cast<std::uint64_t>(sf.bits));
     }
-  }
+  });
 }
 
 TEST_F(MfUnitComb, DualFp32MatchesModel) {
   std::mt19937_64 rng(13);
-  for (int i = 0; i < 1500; ++i) {
-    const std::uint64_t a = rand_fp32_pair(rng), b = rand_fp32_pair(rng);
-    const Ports got = run(Format::Fp32Dual, a, b);
-    const Ports want = execute(Format::Fp32Dual, a, b);
-    ASSERT_EQ(got.ph, want.ph) << std::hex << a << "," << b;
+  std::vector<PackOp> ops;
+  for (int i = 0; i < 15000; ++i)
+    ops.push_back({Format::Fp32Dual, rand_fp32_pair(rng),
+                   rand_fp32_pair(rng)});
+  run_packed(ops, [&](std::size_t i, const Ports& got) {
+    const Ports want = execute(Format::Fp32Dual, ops[i].a, ops[i].b);
+    ASSERT_EQ(got.ph, want.ph) << std::hex << ops[i].a << "," << ops[i].b;
     ASSERT_EQ(got.pl, 0u);
+  });
+}
+
+TEST_F(MfUnitComb, PackedMixedFormatsMatchModel) {
+  // All three formats interleaved within single evaluation passes.
+  std::mt19937_64 rng(18);
+  std::vector<PackOp> ops;
+  for (int i = 0; i < 3000; ++i) {
+    switch (static_cast<Format>(i % 3)) {
+      case Format::Int64:
+        ops.push_back({Format::Int64, rng(), rng()});
+        break;
+      case Format::Fp64:
+        ops.push_back({Format::Fp64, rand_fp64(rng), rand_fp64(rng)});
+        break;
+      default:
+        ops.push_back({Format::Fp32Dual, rand_fp32_pair(rng),
+                       rand_fp32_pair(rng)});
+    }
   }
+  run_packed(ops, [&](std::size_t i, const Ports& got) {
+    const Ports want = execute(ops[i].f, ops[i].a, ops[i].b);
+    ASSERT_EQ(got.ph, want.ph) << "op " << i;
+    ASSERT_EQ(got.pl, want.pl) << "op " << i;
+  });
 }
 
 TEST_F(MfUnitComb, LanesIsolatedInDualMode) {

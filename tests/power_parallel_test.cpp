@@ -85,6 +85,34 @@ TEST(MeasureParallel, MultiplierBitIdenticalAcrossThreadCounts) {
   }
 }
 
+// Pinned pre-refactor toggle totals.  These exact values were produced
+// by the seed sharded engine (before CompiledCircuit) for the fixed
+// (workload, vectors, seed) tuples below; the compiled engine must
+// reproduce them bit-for-bit.  A change here means the event schedule
+// -- and therefore every power figure in the paper tables -- moved.
+TEST(MeasureParallel, ToggleTotalsMatchPinnedBaseline) {
+  const mf::MfUnit unit = mf::build_mf_unit();
+  const FormatPower fp64 =
+      measure_mf_parallel(unit, Workload::Fp64Random, 96, 880.0, 1, 1);
+  EXPECT_EQ(fp64.toggles, 675452u);
+  const FormatPower fp32x2 =
+      measure_mf_parallel(unit, Workload::Fp32DualRandom, 96, 1330.0, 2, 3);
+  EXPECT_EQ(fp32x2.toggles, 498403u);
+
+  mult::MultiplierOptions o;
+  o.n = 16;
+  o.g = 2;
+  const auto mult_unit = mult::build_multiplier(o);
+  const MultiplierPower mp =
+      measure_multiplier_parallel(mult_unit, 96, 100.0, 0x5EED, 2);
+  EXPECT_EQ(mp.toggles, 82681u);
+
+  // Compile time is reported separately from simulation wall-clock.
+  EXPECT_GT(fp64.compile_s, 0.0);
+  EXPECT_GT(fp64.wall_s, 0.0);
+  EXPECT_GT(mp.compile_s, 0.0);
+}
+
 TEST(MeasureParallel, SeedReachesEveryShard) {
   // Changing the base seed must change the per-shard operand streams
   // (shard seeds are a function of the base seed, not just the index).
