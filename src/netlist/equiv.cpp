@@ -36,11 +36,26 @@ EquivResult check_equivalence(const Circuit& lhs, const Circuit& rhs,
       return res;
     }
   }
+  // Output ports must match too: an lhs port missing from rhs (or
+  // width-mismatched) used to be silently skipped, so two circuits with
+  // disjoint output ports compared zero ports and reported equivalence.
   std::vector<std::string> out_names;
   for (const auto& [name, bus] : lhs.out_ports()) {
     auto it = rhs.out_ports().find(name);
-    if (it != rhs.out_ports().end() && it->second.size() == bus.size())
-      out_names.push_back(name);
+    if (it == rhs.out_ports().end() || it->second.size() != bus.size()) {
+      res.equivalent = false;
+      res.counterexample = "output port mismatch: " + name;
+      return res;
+    }
+    out_names.push_back(name);
+  }
+  for (const auto& [name, bus] : rhs.out_ports()) {
+    (void)bus;
+    if (!lhs.has_out_port(name)) {
+      res.equivalent = false;
+      res.counterexample = "output port mismatch: " + name;
+      return res;
+    }
   }
 
   // Both circuits are compiled once and driven 64 vectors per eval()

@@ -24,16 +24,18 @@ struct EquivResult {
   bool equivalent = true;     ///< no differing vector found
   std::uint64_t vectors = 0;  ///< vectors simulated
   /// On a mismatch: the earliest failing input assignment plus the
-  /// lhs/rhs value of EVERY shared output port under it, with the
-  /// differing ports flagged (not just the first mismatching port).
+  /// lhs/rhs value of EVERY output port under it, with the differing
+  /// ports flagged (not just the first mismatching port); on a port-map
+  /// mismatch, the offending port's name.
   std::string counterexample;
 };
 
-/// Checks that @p lhs and @p rhs agree on every shared output port for
+/// Checks that @p lhs and @p rhs agree on every output port for
 /// directed + @p random_vectors random input assignments (64 vectors per
 /// PackSim evaluation).  Both circuits must declare identical input-port
-/// names/widths; output ports present in both are compared.  Sequential
-/// circuits are rejected (flops != 0).
+/// and output-port names/widths; any missing or width-mismatched port is
+/// itself a non-equivalence (named in the counterexample) rather than
+/// being skipped.  Sequential circuits are rejected (flops != 0).
 EquivResult check_equivalence(const Circuit& lhs, const Circuit& rhs,
                               int random_vectors = 20000,
                               std::uint64_t seed = 0xEC);

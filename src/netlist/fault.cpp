@@ -1,0 +1,408 @@
+#include "netlist/fault.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+
+#include "netlist/compiled.h"
+#include "netlist/lint.h"
+#include "netlist/sim_pack.h"
+
+namespace mfm::netlist {
+
+std::string_view fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kStuckAt0: return "stuck-at-0";
+    case FaultKind::kStuckAt1: return "stuck-at-1";
+    case FaultKind::kFlip: return "flip";
+  }
+  return "?";
+}
+
+std::string_view undetected_cause_name(UndetectedCause c) {
+  switch (c) {
+    case UndetectedCause::kVectorGap: return "vector-gap";
+    case UndetectedCause::kUnobservable: return "unobservable";
+    case UndetectedCause::kPinnedConstant: return "pinned-constant";
+  }
+  return "?";
+}
+
+namespace {
+
+bool eligible_victim(GateKind k) {
+  return k != GateKind::Input && k != GateKind::Const0 &&
+         k != GateKind::Const1;
+}
+
+}  // namespace
+
+std::vector<FaultSite> enumerate_stuck_faults(const Circuit& c) {
+  std::vector<FaultSite> sites;
+  for (NetId i = 0; i < c.size(); ++i)
+    if (eligible_victim(c.gate(i).kind)) {
+      sites.push_back({i, FaultKind::kStuckAt0});
+      sites.push_back({i, FaultKind::kStuckAt1});
+    }
+  return sites;
+}
+
+std::vector<FaultSite> enumerate_transient_faults(const Circuit& c) {
+  std::vector<FaultSite> sites;
+  for (NetId i = 0; i < c.size(); ++i)
+    if (eligible_victim(c.gate(i).kind))
+      sites.push_back({i, FaultKind::kFlip});
+  return sites;
+}
+
+// ---- vector sets -----------------------------------------------------------
+
+namespace {
+
+/// -1 = free input, 0/1 = pinned value.
+std::vector<std::int8_t> pin_map(const Circuit& c,
+                                 const std::vector<TernaryPin>& pins) {
+  std::vector<std::int8_t> pin(c.size(), -1);
+  for (const TernaryPin& p : pins)
+    if (p.net < c.size()) pin[p.net] = p.value ? 1 : 0;
+  return pin;
+}
+
+}  // namespace
+
+FaultVectors::FaultVectors(const Circuit& c, std::size_t count,
+                           std::uint64_t seed,
+                           const std::vector<TernaryPin>& pins)
+    : count_(count), inputs_(c.primary_inputs()) {
+  const std::vector<std::int8_t> pin = pin_map(c, pins);
+  bits_.assign(count_ * inputs_.size(), 0);
+  std::mt19937_64 rng(seed);
+  for (std::size_t v = 0; v < count_; ++v) {
+    std::uint64_t word = 0;
+    int left = 0;
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+      bool b;
+      if (v == 0) {
+        b = false;
+      } else if (v == 1) {
+        b = true;
+      } else {
+        if (left == 0) {
+          word = rng();
+          left = 64;
+        }
+        b = (word & 1) != 0;
+        word >>= 1;
+        --left;
+      }
+      const std::int8_t p = pin[inputs_[i]];
+      if (p >= 0) b = p != 0;
+      bits_[v * inputs_.size() + i] = b ? 1 : 0;
+    }
+  }
+}
+
+FaultVectors FaultVectors::exhaustive(const Circuit& c,
+                                      const std::vector<TernaryPin>& pins) {
+  FaultVectors fv;
+  fv.inputs_ = c.primary_inputs();
+  const std::vector<std::int8_t> pin = pin_map(c, pins);
+  std::vector<int> free_ordinal(fv.inputs_.size(), -1);
+  int free_count = 0;
+  for (std::size_t i = 0; i < fv.inputs_.size(); ++i)
+    if (pin[fv.inputs_[i]] < 0) free_ordinal[i] = free_count++;
+  if (free_count > 16)
+    throw std::invalid_argument(
+        "FaultVectors::exhaustive: " + std::to_string(free_count) +
+        " free inputs (max 16)");
+  fv.count_ = std::size_t{1} << free_count;
+  fv.bits_.assign(fv.count_ * fv.inputs_.size(), 0);
+  for (std::size_t v = 0; v < fv.count_; ++v)
+    for (std::size_t i = 0; i < fv.inputs_.size(); ++i) {
+      const std::int8_t p = pin[fv.inputs_[i]];
+      const bool b = p >= 0 ? p != 0
+                            : ((v >> free_ordinal[i]) & 1) != 0;
+      fv.bits_[v * fv.inputs_.size() + i] = b ? 1 : 0;
+    }
+  return fv;
+}
+
+// ---- the campaign ----------------------------------------------------------
+
+FaultCampaignReport run_fault_campaign(const CompiledCircuit& cc,
+                                       const std::vector<FaultSite>& sites,
+                                       const FaultVectors& vectors,
+                                       const FaultCampaignOptions& opt) {
+  const Circuit& c = cc.circuit();
+  FaultCampaignReport rep;
+  rep.sites = sites.size();
+  rep.vectors = vectors.count();
+  rep.site_detected.assign(sites.size(), 0);
+
+  std::vector<NetId> outs;
+  for (const auto& [name, bus] : c.out_ports()) {
+    (void)name;
+    outs.insert(outs.end(), bus.begin(), bus.end());
+  }
+
+  PackSim sim(cc);
+  const std::vector<NetId>& ins = vectors.inputs();
+
+  // Lane 0 is the fault-free reference; lanes 1..63 carry one fault
+  // each.  Transient groups are kept separate from stuck groups so the
+  // single-cycle arm/clear applies to a whole pass.
+  std::size_t g0 = 0;
+  while (g0 < sites.size()) {
+    const bool flip_group = sites[g0].kind == FaultKind::kFlip;
+    std::size_t g1 = g0 + 1;
+    while (g1 < sites.size() &&
+           g1 - g0 < static_cast<std::size_t>(PackSim::kLanes - 1) &&
+           (sites[g1].kind == FaultKind::kFlip) == flip_group)
+      ++g1;
+    const std::size_t n = g1 - g0;
+    const std::uint64_t all =
+        n == 63 ? ~1ull : (((1ull << n) - 1) << 1);
+
+    sim.clear_forces();
+    if (!flip_group)
+      for (std::size_t k = 0; k < n; ++k) {
+        const FaultSite& s = sites[g0 + k];
+        sim.force(s.net, 1ull << (k + 1),
+                  s.kind == FaultKind::kStuckAt1 ? ~0ull : 0ull);
+      }
+
+    std::uint64_t caught = 0;
+    std::size_t v = 0;
+    while (v < vectors.count()) {
+      for (std::size_t i = 0; i < ins.size(); ++i)
+        sim.set(ins[i], vectors.bit(v, i) ? ~0ull : 0ull);
+      if (flip_group)
+        for (std::size_t k = 0; k < n; ++k)
+          sim.flip(sites[g0 + k].net, 1ull << (k + 1));
+      // One vector window: inputs held for cycles+1 evals; outputs are
+      // diffed against the reference lane after every eval, so a fault
+      // whose effect surfaces on an intermediate cycle is still caught.
+      for (int cyc = 0; cyc <= opt.cycles; ++cyc) {
+        if (cyc > 0) sim.clock();
+        sim.eval();
+        ++rep.evals;
+        if (flip_group && cyc == 0) sim.clear_forces();
+        std::uint64_t mismatch = 0;
+        for (const NetId o : outs) {
+          const std::uint64_t w = sim.word(o);
+          mismatch |= w ^ ((w & 1) ? ~0ull : 0ull);
+        }
+        caught |= mismatch & all;
+      }
+      ++v;
+      if (opt.early_exit && caught == all) break;
+    }
+    rep.fault_vectors += n * v;
+    for (std::size_t k = 0; k < n; ++k)
+      rep.site_detected[g0 + k] = (caught >> (k + 1)) & 1;
+    ++rep.passes;
+    g0 = g1;
+  }
+
+  // Tally and classify.  Observability comes from mfm-lint's
+  // unobservable rule (uncapped findings); "stuck at its own ternary
+  // constant under the pins" is undetectable by construction.
+  std::size_t undetected = 0;
+  for (const std::uint8_t d : rep.site_detected)
+    if (!d) ++undetected;
+
+  std::vector<std::uint8_t> unobservable;
+  TernaryResult tern;
+  if (opt.classify_undetected && undetected > 0) {
+    LintOptions lo;
+    lo.check_constants = false;
+    lo.check_duplicates = false;
+    lo.check_fanout = false;
+    lo.check_unobservable = true;
+    lo.max_findings_per_rule = -1;  // the full net list, not a sample
+    const LintReport lrep = lint_circuit(c, lo);
+    unobservable.assign(c.size(), 0);
+    for (const LintFinding& f : lrep.findings)
+      if (f.rule == LintRule::kUnobservable && f.net != kNoNet)
+        unobservable[f.net] = 1;
+    tern = ternary_propagate(cc, opt.pins);
+  }
+
+  std::vector<FaultModuleStats> modules(c.module_count());
+  for (std::size_t m = 0; m < modules.size(); ++m)
+    modules[m].path = c.module_path(static_cast<std::uint16_t>(m));
+
+  for (std::size_t s = 0; s < sites.size(); ++s) {
+    const FaultSite& site = sites[s];
+    FaultModuleStats& ms = modules[c.gate(site.net).module];
+    ++ms.sites;
+    if (rep.site_detected[s]) {
+      ++rep.detected;
+      ++ms.detected;
+      continue;
+    }
+    UndetectedFault uf;
+    uf.site = site;
+    uf.label = "net " + std::to_string(site.net) + " (" +
+               std::string(gate_name(c.gate(site.net).kind)) + " in " +
+               c.module_path(c.gate(site.net).module) + ")";
+    const bool stuck_at_pin_constant =
+        !tern.value.empty() && site.kind != FaultKind::kFlip &&
+        tern_is_const(tern.at(site.net)) &&
+        (tern.at(site.net) == Tern::k1) ==
+            (site.kind == FaultKind::kStuckAt1);
+    if (!unobservable.empty() && unobservable[site.net]) {
+      uf.cause = UndetectedCause::kUnobservable;
+      ++rep.undetected_unobservable;
+    } else if (stuck_at_pin_constant) {
+      uf.cause = UndetectedCause::kPinnedConstant;
+      ++rep.undetected_pinned;
+    } else {
+      uf.cause = UndetectedCause::kVectorGap;
+      ++rep.undetected_gap;
+      ++ms.gaps;
+    }
+    rep.undetected.push_back(uf);
+  }
+
+  modules.erase(std::remove_if(modules.begin(), modules.end(),
+                               [](const FaultModuleStats& m) {
+                                 return m.sites == 0;
+                               }),
+                modules.end());
+  rep.modules = std::move(modules);
+  return rep;
+}
+
+// ---- the reference injector ------------------------------------------------
+
+std::unique_ptr<Circuit> clone_with_stuck(const Circuit& src, NetId victim,
+                                          bool value) {
+  if (victim < 2 || victim >= src.size() ||
+      !eligible_victim(src.gate(victim).kind))
+    throw std::invalid_argument("clone_with_stuck: net " +
+                                std::to_string(victim) +
+                                " is not an eligible victim");
+  auto out = std::make_unique<Circuit>();
+  // Circuit's constructor creates Const0/Const1 at ids 0/1 -- identical
+  // to the source, so gates 2..N are recreated verbatim.
+  for (NetId i = 2; i < src.size(); ++i) {
+    const Gate& g = src.gate(i);
+    if (i == victim) {
+      out->add(value ? GateKind::Const1 : GateKind::Const0);
+      continue;
+    }
+    out->add(g.kind, g.in[0], g.in[1], g.in[2], g.in[3]);
+  }
+  return out;
+}
+
+// ---- reports ---------------------------------------------------------------
+
+namespace {
+
+void json_escape_into(std::string& out, std::string_view s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20)
+          out += ' ';
+        else
+          out += ch;
+    }
+  }
+}
+
+}  // namespace
+
+std::string fault_report_text(const FaultCampaignReport& rep,
+                              const std::string& title) {
+  std::ostringstream os;
+  if (!title.empty()) os << "=== faults: " << title << " ===\n";
+  os << "sites " << rep.sites << "  vectors/fault " << rep.vectors
+     << "  passes " << rep.passes << "  evals " << rep.evals
+     << "  fault-vectors " << rep.fault_vectors << "\n";
+  char cov[32];
+  std::snprintf(cov, sizeof cov, "%.2f", rep.coverage_pct());
+  os << "detected " << rep.detected << " / " << rep.sites << " (" << cov
+     << "%)  undetected " << rep.undetected_total() << ": vector-gap "
+     << rep.undetected_gap << ", unobservable " << rep.undetected_unobservable
+     << ", pinned-constant " << rep.undetected_pinned << "\n";
+  if (!rep.modules.empty()) {
+    os << "per-module (sites/detected/gaps):\n";
+    for (const FaultModuleStats& m : rep.modules)
+      os << "  " << m.path << ": " << m.sites << "/" << m.detected << "/"
+         << m.gaps << "\n";
+  }
+  // Only the actionable class is listed: unobservable / pinned-constant
+  // faults are explained by the static analyses (counts above).
+  constexpr std::size_t kMaxListed = 32;
+  std::size_t listed = 0;
+  for (const UndetectedFault& uf : rep.undetected) {
+    if (uf.cause != UndetectedCause::kVectorGap) continue;
+    if (listed == kMaxListed) {
+      os << "  ... and " << rep.undetected_gap - kMaxListed
+         << " more vector-gap fault(s)\n";
+      break;
+    }
+    os << "  gap: " << uf.label << " " << fault_kind_name(uf.site.kind)
+       << "\n";
+    ++listed;
+  }
+  return os.str();
+}
+
+std::string fault_report_json(const FaultCampaignReport& rep,
+                              const std::string& title) {
+  std::string j = "{\"title\":\"";
+  json_escape_into(j, title);
+  j += "\"";
+  auto num = [&](const char* k, std::uint64_t v) {
+    j += ",\"";
+    j += k;
+    j += "\":" + std::to_string(v);
+  };
+  num("sites", rep.sites);
+  num("detected", rep.detected);
+  char cov[32];
+  std::snprintf(cov, sizeof cov, "%.2f", rep.coverage_pct());
+  j += ",\"coverage_pct\":";
+  j += cov;
+  j += ",\"undetected\":{\"vector_gap\":" + std::to_string(rep.undetected_gap) +
+       ",\"unobservable\":" + std::to_string(rep.undetected_unobservable) +
+       ",\"pinned_constant\":" + std::to_string(rep.undetected_pinned) + "}";
+  num("vectors_per_fault", rep.vectors);
+  num("passes", rep.passes);
+  num("evals", rep.evals);
+  num("fault_vectors", rep.fault_vectors);
+  j += ",\"gaps\":[";
+  bool first = true;
+  for (const UndetectedFault& uf : rep.undetected) {
+    if (uf.cause != UndetectedCause::kVectorGap) continue;
+    if (!first) j += ",";
+    first = false;
+    j += "{\"net\":" + std::to_string(uf.site.net) + ",\"kind\":\"";
+    j += fault_kind_name(uf.site.kind);
+    j += "\"}";
+  }
+  j += "],\"modules\":[";
+  for (std::size_t i = 0; i < rep.modules.size(); ++i) {
+    const FaultModuleStats& m = rep.modules[i];
+    if (i) j += ",";
+    j += "{\"path\":\"";
+    json_escape_into(j, m.path);
+    j += "\",\"sites\":" + std::to_string(m.sites) +
+         ",\"detected\":" + std::to_string(m.detected) +
+         ",\"gaps\":" + std::to_string(m.gaps) + "}";
+  }
+  j += "]}";
+  return j;
+}
+
+}  // namespace mfm::netlist

@@ -1,6 +1,6 @@
 #include "netlist/sim_level.h"
 
-#include <cassert>
+#include <stdexcept>
 
 namespace mfm::netlist {
 
@@ -18,7 +18,11 @@ LevelSim::LevelSim(const Circuit& c)
 }
 
 void LevelSim::set(NetId input_net, bool v) {
-  assert(cc_->kind(input_net) == GateKind::Input);
+  if (input_net >= cc_->size() ||
+      cc_->kind(input_net) != GateKind::Input)
+    throw std::invalid_argument(
+        "LevelSim::set: net " + std::to_string(input_net) +
+        " is not a primary input");
   values_[input_net] = v ? 1 : 0;
 }
 
@@ -62,7 +66,10 @@ void LevelSim::clock() {
 }
 
 u128 LevelSim::read_bus(const Bus& bus) const {
-  assert(bus.size() <= 128);
+  if (bus.size() > 128)
+    throw std::invalid_argument(
+        "LevelSim::read_bus: bus wider than 128 bits (" +
+        std::to_string(bus.size()) + ")");
   u128 v = 0;
   for (std::size_t i = 0; i < bus.size(); ++i)
     if (values_[bus[i]]) v |= static_cast<u128>(1) << i;

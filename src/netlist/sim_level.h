@@ -28,6 +28,7 @@ class LevelSim {
   explicit LevelSim(const Circuit& c);
 
   /// Sets the value of a primary-input net (does not re-evaluate).
+  /// Throws std::invalid_argument when the net is not a primary input.
   void set(NetId input_net, bool v);
   /// Sets an input bus (LSB first) from the low bits of @p value.
   void set_bus(const Bus& bus, u128 value);
@@ -47,7 +48,8 @@ class LevelSim {
   }
 
   bool value(NetId n) const { return values_[n] != 0; }
-  /// Reads up to 128 bits of a bus (LSB first).
+  /// Reads up to 128 bits of a bus (LSB first).  Throws
+  /// std::invalid_argument on a bus wider than 128 bits.
   u128 read_bus(const Bus& bus) const;
   u128 read_port(const std::string& name) const;
 

@@ -1,5 +1,6 @@
 #include "netlist/sim_pack.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace mfm::netlist {
@@ -87,22 +88,54 @@ void PackSim::set_port(const std::string& name, int lane, u128 value) {
 void PackSim::eval() {
   const Circuit& c = cc_->circuit();
   const std::vector<GateKind>& kinds = cc_->kinds();
+  // Overrides are sorted by net and evaluation walks nets in order, so
+  // one merged cursor applies every override in O(1) amortized.
+  std::size_t ov = 0;
+  const bool forced = !overrides_.empty();
   for (NetId i = 0; i < kinds.size(); ++i) {
     const GateKind k = kinds[i];
-    if (k == GateKind::Input) continue;  // externally driven
     if (k == GateKind::Dff) {
       words_[i] = state_[cc_->flop_ordinal(i)];
-      continue;
+    } else if (k != GateKind::Input) {  // inputs are externally driven
+      const Gate& g = c.gate(i);
+      const int nin = cc_->fanin_count_of(i);
+      const std::uint64_t a = nin > 0 ? words_[g.in[0]] : 0;
+      const std::uint64_t b = nin > 1 ? words_[g.in[1]] : 0;
+      const std::uint64_t cw = nin > 2 ? words_[g.in[2]] : 0;
+      const std::uint64_t d = nin > 3 ? words_[g.in[3]] : 0;
+      words_[i] = eval_gate_word(k, a, b, cw, d);
     }
-    const Gate& g = c.gate(i);
-    const int nin = cc_->fanin_count_of(i);
-    const std::uint64_t a = nin > 0 ? words_[g.in[0]] : 0;
-    const std::uint64_t b = nin > 1 ? words_[g.in[1]] : 0;
-    const std::uint64_t cw = nin > 2 ? words_[g.in[2]] : 0;
-    const std::uint64_t d = nin > 3 ? words_[g.in[3]] : 0;
-    words_[i] = eval_gate_word(k, a, b, cw, d);
+    if (forced)
+      for (; ov < overrides_.size() && overrides_[ov].net == i; ++ov) {
+        const Override& o = overrides_[ov];
+        words_[i] = o.is_flip ? words_[i] ^ o.mask
+                              : (words_[i] & ~o.mask) | (o.value & o.mask);
+      }
   }
 }
+
+void PackSim::add_override(const char* what, NetId n, std::uint64_t mask,
+                           std::uint64_t value, bool is_flip) {
+  if (n >= cc_->size())
+    throw std::invalid_argument(std::string("PackSim::") + what + ": net " +
+                                std::to_string(n) + " out of range");
+  // Insert sorted by net, after existing overrides of the same net, so
+  // same-net overrides apply in call order.
+  auto it = std::upper_bound(
+      overrides_.begin(), overrides_.end(), n,
+      [](NetId net, const Override& o) { return net < o.net; });
+  overrides_.insert(it, Override{n, mask, value, is_flip});
+}
+
+void PackSim::force(NetId n, std::uint64_t mask, std::uint64_t value) {
+  add_override("force", n, mask, value, /*is_flip=*/false);
+}
+
+void PackSim::flip(NetId n, std::uint64_t mask) {
+  add_override("flip", n, mask, 0, /*is_flip=*/true);
+}
+
+void PackSim::clear_forces() { overrides_.clear(); }
 
 void PackSim::clock() {
   const Circuit& c = cc_->circuit();

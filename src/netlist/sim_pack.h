@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,23 @@ class PackSim {
   /// Evaluates all combinational gates (all 64 lanes at once); DFFs
   /// output their current state.
   void eval();
+  /// Per-net lane override, applied inside eval() right after the net's
+  /// word is computed: lanes selected by @p mask take the corresponding
+  /// bits of @p value, so downstream gates (and clock() captures) see
+  /// the forced word.  This is the fault-injection hook (netlist/fault.h):
+  /// one stuck-at fault per lane costs nothing on the fault-free lanes.
+  /// Overrides accumulate (same-net overrides apply in call order) and
+  /// persist across eval() calls until clear_forces().  Throws
+  /// std::invalid_argument when @p n is out of range.
+  void force(NetId n, std::uint64_t mask, std::uint64_t value);
+  /// XOR-masking variant of force(): inverts the lanes selected by
+  /// @p mask instead of pinning them -- a transient bit-flip when armed
+  /// for a single eval() and cleared again.
+  void flip(NetId n, std::uint64_t mask);
+  /// Removes every override installed by force()/flip().  Net words keep
+  /// their last evaluated value until the next eval().
+  void clear_forces();
+  bool has_forces() const { return !overrides_.empty(); }
   /// Clock edge: captures every DFF's D word into its state.
   void clock();
   /// eval(), then clock().
@@ -63,19 +81,43 @@ class PackSim {
 
   /// The raw 64-lane word of a net (bit L = lane L) -- the "signature"
   /// view used for equivalence diffing and SAT-sweeping style analyses.
-  std::uint64_t word(NetId n) const { return words_[n]; }
+  /// Throws std::invalid_argument when the net is out of range.
+  std::uint64_t word(NetId n) const {
+    if (n >= words_.size())
+      throw std::invalid_argument("PackSim::word: net " + std::to_string(n) +
+                                  " out of range");
+    return words_[n];
+  }
+  /// One lane of a net.  Throws std::invalid_argument when the net or
+  /// the lane is out of range (a lane >= 64 would be an UB-width shift).
   bool value(NetId n, int lane) const {
-    return (words_[n] >> lane) & 1;
+    if (lane < 0 || lane >= kLanes)
+      throw std::invalid_argument("PackSim::value: lane " +
+                                  std::to_string(lane) + " out of range");
+    return (word(n) >> lane) & 1;
   }
   /// Reads lane @p lane of a bus (up to 128 bits, LSB first).
   u128 read_bus(const Bus& bus, int lane) const;
   u128 read_port(const std::string& name, int lane) const;
 
  private:
+  /// One installed override (force or flip), kept sorted by net so
+  /// eval() can apply them with a single merged forward walk.
+  struct Override {
+    NetId net;
+    std::uint64_t mask;
+    std::uint64_t value;  // ignored for flips
+    bool is_flip;
+  };
+
+  void add_override(const char* what, NetId n, std::uint64_t mask,
+                    std::uint64_t value, bool is_flip);
+
   std::unique_ptr<const CompiledCircuit> owned_;  // Circuit ctor only
   const CompiledCircuit* cc_;
   std::vector<std::uint64_t> words_;  // per-net lane words
   std::vector<std::uint64_t> state_;  // DFF state words by flop ordinal
+  std::vector<Override> overrides_;   // sorted by net, stable per net
 };
 
 }  // namespace mfm::netlist

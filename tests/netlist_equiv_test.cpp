@@ -102,5 +102,52 @@ TEST(Equivalence, RejectsSequentialAndMismatchedPorts) {
   EXPECT_FALSE(r2.equivalent);
 }
 
+// Regression: output-port mismatches used to be silently skipped, so two
+// circuits with disjoint output ports compared zero ports and "passed".
+// Any missing or width-mismatched output port is itself non-equivalence,
+// with the port named in the counterexample -- in both directions, since
+// the comparison loop iterates lhs ports only.
+TEST(Equivalence, DisjointOutputPortsAreNotEquivalent) {
+  Circuit a, b;
+  {
+    const NetId x = a.input("x");
+    a.output("p", a.not_(x));
+  }
+  {
+    const NetId x = b.input("x");
+    b.output("q", b.not_(x));
+  }
+  const auto r = check_equivalence(a, b, 10);
+  EXPECT_FALSE(r.equivalent);
+  EXPECT_NE(r.counterexample.find("output port"), std::string::npos)
+      << r.counterexample;
+
+  // rhs-only extra port: caught by the reverse direction.
+  Circuit c2;
+  {
+    const NetId x = c2.input("x");
+    c2.output("p", c2.not_(x));
+    c2.output("extra", c2.buf(x));
+  }
+  const auto r2 = check_equivalence(a, c2, 10);
+  EXPECT_FALSE(r2.equivalent);
+  EXPECT_NE(r2.counterexample.find("output port"), std::string::npos);
+
+  // Same name, different width.
+  Circuit w1, w2;
+  {
+    const Bus x = w1.input_bus("x", 2);
+    w1.output_bus("p", x);
+  }
+  {
+    const Bus x = w2.input_bus("x", 2);
+    w2.output("p", x[0]);
+  }
+  const auto r3 = check_equivalence(w1, w2, 10);
+  EXPECT_FALSE(r3.equivalent);
+  EXPECT_NE(r3.counterexample.find("output port mismatch: p"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace mfm::netlist

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <stdexcept>
 
 #include "netlist/bus.h"
 #include "netlist/circuit.h"
@@ -29,6 +30,31 @@ TEST(LevelSim, CombinationalChain) {
     EXPECT_EQ(sim.value(s), ((v & 1) != 0) != ((v & 2) != 0));
     EXPECT_EQ(sim.value(k), (v & 1) && (v & 2));
   }
+}
+
+TEST(LevelSim, SetOnNonInputThrows) {
+  Circuit c;
+  const NetId a = c.input("a");
+  const NetId n = c.not_(a);
+  c.output("o", n);
+  LevelSim sim(c);
+  // Always-on guards (not NDEBUG asserts): driving an internal net or a
+  // bogus id would silently corrupt a measurement in a release build.
+  EXPECT_THROW(sim.set(n, true), std::invalid_argument);
+  EXPECT_THROW(sim.set(static_cast<NetId>(c.size()), true),
+               std::invalid_argument);
+  EXPECT_NO_THROW(sim.set(a, true));
+}
+
+TEST(LevelSim, ReadBusWiderThan128Throws) {
+  Circuit c;
+  const Bus a = c.input_bus("a", 130);
+  c.output_bus("o", a);
+  LevelSim sim(c);
+  sim.eval();
+  EXPECT_THROW(sim.read_bus(c.out_port("o")), std::invalid_argument);
+  const Bus head(a.begin(), a.begin() + 128);
+  EXPECT_NO_THROW(sim.read_bus(head));
 }
 
 TEST(LevelSim, DffShiftsRegisterChain) {

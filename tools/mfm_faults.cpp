@@ -1,0 +1,208 @@
+// mfm_faults: lane-masked stuck-at fault-injection campaign over every
+// shipped generator (netlist/fault.h).
+//
+//   mfm_faults [--json] [--vectors=N] [--seed=S] [--only=SUBSTR]
+//              [--fail-under=PCT] [--transient]
+//
+// Instantiates the 8x8 radix-16 teaching multiplier (the CI coverage
+// gate target), the radix-4 and radix-16 64-bit multipliers, the
+// multi-format unit (baseline and with the Sec. IV reduction) under each
+// format's control pins -- including the fp32x1 idle-upper-lane mode,
+// whose blanked logic shows up as pinned-constant undetected faults, the
+// structural counterpart of the Table V power saving -- and the
+// single-format FP multipliers, adder and reduction unit.  Each campaign
+// batches 63 faults per PackSim pass against a fault-free reference
+// lane; undetected faults are classified against mfm-lint observability
+// and the ternary constants, so the "vector-gap" count is the actionable
+// vector-quality debt.
+//
+// --fail-under=PCT exits nonzero when any (filtered) unit's coverage is
+// below PCT, so CI can gate on it:
+//   mfm_faults --only=mult8 --vectors=256 --fail-under=97
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "mf/fp_reduce.h"
+#include "mf/mf_unit.h"
+#include "mult/fp_adder.h"
+#include "mult/fp_multiplier.h"
+#include "mult/multiplier.h"
+#include "netlist/compiled.h"
+#include "netlist/fault.h"
+#include "netlist/lint.h"
+
+namespace {
+
+using mfm::netlist::Circuit;
+using mfm::netlist::CompiledCircuit;
+using mfm::netlist::FaultCampaignOptions;
+using mfm::netlist::FaultCampaignReport;
+using mfm::netlist::FaultSite;
+using mfm::netlist::FaultVectors;
+using mfm::netlist::TernaryPin;
+
+struct CliOptions {
+  bool json = false;
+  bool transient = false;
+  int vectors = 64;
+  std::uint64_t seed = 0xFA;
+  std::string only;
+  double fail_under = -1.0;  // <0: no gate
+};
+
+struct Runner {
+  CliOptions cli;
+  int failures = 0;
+  bool first_json = true;
+  // name -> coverage, for the summary table.
+  std::vector<std::pair<std::string, double>> coverage;
+
+  void run(const std::string& name, const Circuit& c, int cycles,
+           std::vector<TernaryPin> pins) {
+    if (!cli.only.empty() && name.find(cli.only) == std::string::npos) return;
+    const CompiledCircuit cc(c);
+    std::vector<FaultSite> sites = mfm::netlist::enumerate_stuck_faults(c);
+    if (cli.transient && !c.flops().empty()) {
+      const auto flips = mfm::netlist::enumerate_transient_faults(c);
+      sites.insert(sites.end(), flips.begin(), flips.end());
+    }
+    const FaultVectors vectors(c, static_cast<std::size_t>(cli.vectors),
+                               cli.seed, pins);
+    FaultCampaignOptions opt;
+    opt.cycles = cycles;
+    opt.pins = std::move(pins);
+    const FaultCampaignReport rep =
+        run_fault_campaign(cc, sites, vectors, opt);
+    coverage.emplace_back(name, rep.coverage_pct());
+    if (cli.fail_under >= 0.0 && rep.coverage_pct() < cli.fail_under) {
+      ++failures;
+      std::fprintf(stderr, "mfm_faults: %s coverage %.2f%% below gate %.2f%%\n",
+                   name.c_str(), rep.coverage_pct(), cli.fail_under);
+    }
+    if (cli.json) {
+      std::printf("%s%s", first_json ? "" : ",\n  ",
+                  fault_report_json(rep, name).c_str());
+      first_json = false;
+    } else {
+      std::printf("%s\n", fault_report_text(rep, name).c_str());
+    }
+  }
+};
+
+void run_mf(Runner& r, const char* tag, const mfm::mf::MfOptions& build) {
+  const mfm::mf::MfUnit unit = mfm::mf::build_mf_unit(build);
+  const Circuit& c = *unit.circuit;
+  const std::string base = std::string("mf") + tag;
+
+  using mfm::mf::Format;
+  using mfm::netlist::pin_port;
+  using mfm::netlist::pin_port_bits;
+
+  for (const Format f : {Format::Int64, Format::Fp64, Format::Fp32Dual}) {
+    std::vector<TernaryPin> pins;
+    pin_port(c, "frmt", mfm::mf::frmt_bits(f), pins);
+    const char* fname = f == Format::Int64  ? "int64"
+                        : f == Format::Fp64 ? "fp64"
+                                            : "fp32x2";
+    r.run(base + "/" + fname, c, unit.latency_cycles, std::move(pins));
+  }
+
+  // fp32x1: dual mode with the upper lane's operands idle (zero) -- the
+  // idle lane's blanked cone surfaces as pinned-constant faults.
+  {
+    std::vector<TernaryPin> pins;
+    pin_port(c, "frmt", mfm::mf::frmt_bits(Format::Fp32Dual), pins);
+    pin_port_bits(c, "a", 32, 32, 0, pins);
+    pin_port_bits(c, "b", 32, 32, 0, pins);
+    r.run(base + "/fp32x1", c, unit.latency_cycles, std::move(pins));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Runner r;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      r.cli.json = true;
+    } else if (arg == "--transient") {
+      r.cli.transient = true;
+    } else if (arg.rfind("--vectors=", 0) == 0) {
+      r.cli.vectors = std::atoi(arg.c_str() + 10);
+      if (r.cli.vectors < 2) {
+        std::fprintf(stderr, "mfm_faults: --vectors must be >= 2\n");
+        return 2;
+      }
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      r.cli.seed = std::strtoull(arg.c_str() + 7, nullptr, 0);
+    } else if (arg.rfind("--only=", 0) == 0) {
+      r.cli.only = arg.substr(7);
+    } else if (arg.rfind("--fail-under=", 0) == 0) {
+      r.cli.fail_under = std::atof(arg.c_str() + 13);
+    } else {
+      std::fprintf(stderr,
+                   "usage: mfm_faults [--json] [--vectors=N] [--seed=S] "
+                   "[--only=SUBSTR] [--fail-under=PCT] [--transient]\n");
+      return 2;
+    }
+  }
+
+  if (r.cli.json) std::printf("{\"units\":[");
+
+  {
+    mfm::mult::MultiplierOptions o;
+    o.n = 8;
+    o.g = 4;
+    const auto unit = mfm::mult::build_multiplier(o);
+    r.run("mult8", *unit.circuit, 0, {});
+  }
+  {
+    const auto unit = mfm::mult::build_radix4_64();
+    r.run("radix4-64", *unit.circuit, 0, {});
+  }
+  {
+    const auto unit = mfm::mult::build_radix16_64();
+    r.run("radix16-64", *unit.circuit, 0, {});
+  }
+  run_mf(r, "", {});
+  run_mf(r, "-reduce", {.with_reduction = true});
+  {
+    mfm::mult::FpMultiplierOptions opt;
+    opt.format = mfm::fp::kBinary32;
+    const auto unit = mfm::mult::build_fp_multiplier(opt);
+    r.run("fpmul-b32", *unit.circuit, 0, {});
+  }
+  {
+    mfm::mult::FpMultiplierOptions opt;
+    opt.format = mfm::fp::kBinary64;
+    const auto unit = mfm::mult::build_fp_multiplier(opt);
+    r.run("fpmul-b64", *unit.circuit, 0, {});
+  }
+  {
+    const auto unit = mfm::mult::build_fp_adder({});
+    r.run("fpadd-b32", *unit.circuit, 0, {});
+  }
+  {
+    const auto unit = mfm::mf::build_reduce_unit();
+    r.run("reduce64to32", *unit.circuit, 0, {});
+  }
+
+  if (r.cli.json) {
+    std::printf("],\"failures\":%d}\n", r.failures);
+  } else if (!r.coverage.empty()) {
+    std::printf("stuck-at coverage by unit (%d vectors/fault):\n",
+                r.cli.vectors);
+    for (const auto& [name, pct] : r.coverage)
+      std::printf("  %-18s %6.2f%%\n", name.c_str(), pct);
+  }
+  if (r.failures > 0) {
+    std::fprintf(stderr, "mfm_faults: %d unit(s) below the coverage gate\n",
+                 r.failures);
+    return 1;
+  }
+  return 0;
+}
