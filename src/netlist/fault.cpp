@@ -65,8 +65,12 @@ namespace {
 std::vector<std::int8_t> pin_map(const Circuit& c,
                                  const std::vector<TernaryPin>& pins) {
   std::vector<std::int8_t> pin(c.size(), -1);
-  for (const TernaryPin& p : pins)
-    if (p.net < c.size()) pin[p.net] = p.value ? 1 : 0;
+  for (const TernaryPin& p : pins) {
+    if (p.net >= c.size())
+      throw std::invalid_argument("FaultVectors: pin net " +
+                                  std::to_string(p.net) + " out of range");
+    pin[p.net] = p.value ? 1 : 0;
+  }
   return pin;
 }
 
@@ -75,7 +79,7 @@ std::vector<std::int8_t> pin_map(const Circuit& c,
 FaultVectors::FaultVectors(const Circuit& c, std::size_t count,
                            std::uint64_t seed,
                            const std::vector<TernaryPin>& pins)
-    : count_(count), inputs_(c.primary_inputs()) {
+    : count_(count), inputs_(c.primary_inputs()), pins_(pins) {
   const std::vector<std::int8_t> pin = pin_map(c, pins);
   bits_.assign(count_ * inputs_.size(), 0);
   std::mt19937_64 rng(seed);
@@ -108,6 +112,7 @@ FaultVectors FaultVectors::exhaustive(const Circuit& c,
                                       const std::vector<TernaryPin>& pins) {
   FaultVectors fv;
   fv.inputs_ = c.primary_inputs();
+  fv.pins_ = pins;
   const std::vector<std::int8_t> pin = pin_map(c, pins);
   std::vector<int> free_ordinal(fv.inputs_.size(), -1);
   int free_count = 0;
@@ -165,7 +170,12 @@ FaultCampaignReport run_fault_campaign(const CompiledCircuit& cc,
     const std::uint64_t all =
         n == 63 ? ~1ull : (((1ull << n) - 1) << 1);
 
+    // Every group must start from identical per-lane state: without
+    // this reset, lanes 1..63 of a sequential circuit would inherit
+    // register state corrupted by the previous group's faults and diff
+    // against lane 0 as phantom detections on cycle 0.
     sim.clear_forces();
+    sim.reset();
     if (!flip_group)
       for (std::size_t k = 0; k < n; ++k) {
         const FaultSite& s = sites[g0 + k];
@@ -227,7 +237,10 @@ FaultCampaignReport run_fault_campaign(const CompiledCircuit& cc,
     for (const LintFinding& f : lrep.findings)
       if (f.rule == LintRule::kUnobservable && f.net != kNoNet)
         unobservable[f.net] = 1;
-    tern = ternary_propagate(cc, opt.pins);
+    // Classify under the pins the vectors were actually built with, so
+    // the pinned-constant class can never diverge from the applied
+    // stimulus.
+    tern = ternary_propagate(cc, vectors.pins());
   }
 
   std::vector<FaultModuleStats> modules(c.module_count());

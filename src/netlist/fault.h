@@ -85,17 +85,23 @@ std::vector<FaultSite> enumerate_transient_faults(const Circuit& c);
 class FaultVectors {
  public:
   /// @p count vectors for the primary inputs of @p c under @p pins.
+  /// Throws std::invalid_argument when a pin names a net outside @p c.
   FaultVectors(const Circuit& c, std::size_t count, std::uint64_t seed,
                const std::vector<TernaryPin>& pins = {});
 
   /// Exhaustive set: every assignment of the free (un-pinned) primary
-  /// inputs.  Throws std::invalid_argument beyond 16 free inputs.
+  /// inputs.  Throws std::invalid_argument beyond 16 free inputs or on
+  /// an out-of-range pin net.
   static FaultVectors exhaustive(const Circuit& c,
                                  const std::vector<TernaryPin>& pins = {});
 
   std::size_t count() const { return count_; }
   /// Primary input nets, in circuit order (pinned inputs included).
   const std::vector<NetId>& inputs() const { return inputs_; }
+  /// The control pins the vectors were built under.  run_fault_campaign
+  /// reads these for its pinned-constant classification, so the
+  /// classification always reflects the vectors actually applied.
+  const std::vector<TernaryPin>& pins() const { return pins_; }
   bool bit(std::size_t vector, std::size_t input_ordinal) const {
     return bits_[vector * inputs_.size() + input_ordinal] != 0;
   }
@@ -105,6 +111,7 @@ class FaultVectors {
 
   std::size_t count_ = 0;
   std::vector<NetId> inputs_;
+  std::vector<TernaryPin> pins_;
   std::vector<std::uint8_t> bits_;  // count_ x inputs_.size()
 };
 
@@ -139,9 +146,6 @@ struct FaultCampaignOptions {
   /// compared after every eval() of the window, so a fault is detected
   /// as soon as its effect surfaces on any cycle.
   int cycles = 0;
-  /// Control pins the vectors were built under; used by the
-  /// pinned-constant classification of undetected faults.
-  std::vector<TernaryPin> pins;
   /// Classify undetected faults against lint observability + ternary
   /// constants (costs one lint pass; disable for throughput benches).
   bool classify_undetected = true;
@@ -179,9 +183,12 @@ struct FaultCampaignReport {
 /// Runs the lane-masked campaign: @p sites are batched 63 per pass
 /// (lane 0 stays fault-free), every vector is broadcast to all lanes,
 /// and each vector window is cycles+1 eval() calls with outputs diffed
-/// against lane 0 after each.  Transient (kFlip) sites are grouped
-/// separately from stuck sites; their flip is armed for the window's
-/// first eval() only.
+/// against lane 0 after each.  Every group starts from PackSim::reset()
+/// power-on state, so verdicts are independent of how sites fall into
+/// groups (register state corrupted by one group's faults never leaks
+/// into the next).  Transient (kFlip) sites are grouped separately from
+/// stuck sites; their flip is armed for the window's first eval() only.
+/// Pinned-constant classification uses @p vectors' own pins.
 FaultCampaignReport run_fault_campaign(const CompiledCircuit& cc,
                                        const std::vector<FaultSite>& sites,
                                        const FaultVectors& vectors,

@@ -137,6 +137,12 @@ void PackSim::flip(NetId n, std::uint64_t mask) {
 
 void PackSim::clear_forces() { overrides_.clear(); }
 
+void PackSim::reset() {
+  std::fill(words_.begin(), words_.end(), 0);
+  std::fill(state_.begin(), state_.end(), 0);
+  eval();
+}
+
 void PackSim::clock() {
   const Circuit& c = cc_->circuit();
   for (std::size_t i = 0; i < c.flops().size(); ++i)

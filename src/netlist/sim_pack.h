@@ -71,6 +71,15 @@ class PackSim {
   /// their last evaluated value until the next eval().
   void clear_forces();
   bool has_forces() const { return !overrides_.empty(); }
+  /// Returns every lane to the power-on state: zeroes all DFF state and
+  /// all net words (primary inputs included), then eval()s -- the same
+  /// state a freshly constructed simulator starts from.  Installed
+  /// overrides are NOT removed and apply to that eval(); call
+  /// clear_forces() first for a pristine baseline.  The fault campaign
+  /// (netlist/fault.h) resets at every group boundary so lanes 1..63
+  /// never inherit register state corrupted by the previous group's
+  /// faults.
+  void reset();
   /// Clock edge: captures every DFF's D word into its state.
   void clock();
   /// eval(), then clock().

@@ -132,6 +132,79 @@ TEST(FaultCampaign, MatchesCopyCircuitInjectorOnEveryMultiplierGate) {
       << rep.detected << "/" << rep.sites;
 }
 
+// ---- multi-group sequential campaigns reset state between groups -----------
+
+// A sequential circuit with 96 eligible gates (192 stuck sites) forces
+// the campaign into four 63-fault groups.  A fault in one group corrupts
+// its lane's register state; the campaign must start every group from
+// PackSim::reset() power-on state, or lanes 1..63 would enter the next
+// group with the previous group's corrupted state and the cycle-0 diff
+// against lane 0 would flag phantom detections.  The scalar reference
+// below replays one clone_with_stuck machine per fault from power-on
+// state with identical window semantics, so any group-boundary leakage
+// shows up as a verdict divergence.
+TEST(FaultCampaign, SequentialMultiGroupMatchesScalarReference) {
+  Circuit c;
+  const Bus a = c.input_bus("a", 16);
+  const Bus b = c.input_bus("b", 16);
+  Bus q2, r1;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const NetId t = c.xor2(a[i], b[i]);
+    const NetId m = c.maj3(a[i], b[i], t);
+    const NetId rm = c.dff(m);
+    const NetId s = c.xor2(c.dff(t), rm);
+    q2.push_back(c.dff(s));
+    r1.push_back(rm);
+  }
+  c.output_bus("o", q2);
+  c.output_bus("r", r1);
+
+  const CompiledCircuit cc(c);
+  const auto sites = enumerate_stuck_faults(c);
+  ASSERT_EQ(sites.size(), 192u);
+
+  const FaultVectors fv(c, /*count=*/24, /*seed=*/0xBEEF);
+  FaultCampaignOptions opt;
+  opt.cycles = 2;  // two register stages between inputs and "o"
+  opt.classify_undetected = false;
+  const FaultCampaignReport rep = run_fault_campaign(cc, sites, fv, opt);
+  // The whole point: the campaign crossed several group boundaries.
+  EXPECT_EQ(rep.passes, 4u);
+
+  std::vector<NetId> outs;
+  for (const auto& [name, bus] : c.out_ports()) {
+    (void)name;
+    outs.insert(outs.end(), bus.begin(), bus.end());
+  }
+  // The campaign's window semantics on one scalar machine: inputs held
+  // for cycles+1 evals, outputs sampled after every eval, register
+  // state carried across vectors, power-on (all-zero) start.
+  const auto scalar_responses = [&](const Circuit& machine) {
+    LevelSim sim(machine);
+    std::vector<bool> out;
+    for (std::size_t v = 0; v < fv.count(); ++v) {
+      for (std::size_t i = 0; i < fv.inputs().size(); ++i)
+        sim.set(fv.inputs()[i], fv.bit(v, i));
+      for (int cyc = 0; cyc <= opt.cycles; ++cyc) {
+        if (cyc > 0) sim.clock();
+        sim.eval();
+        for (const NetId o : outs) out.push_back(sim.value(o));
+      }
+    }
+    return out;
+  };
+  const std::vector<bool> golden = scalar_responses(c);
+  for (std::size_t s = 0; s < sites.size(); ++s) {
+    const auto faulty = clone_with_stuck(
+        c, sites[s].net, sites[s].kind == FaultKind::kStuckAt1);
+    const bool caught = scalar_responses(*faulty) != golden;
+    ASSERT_EQ(rep.site_detected[s] != 0, caught)
+        << "verdict diverged on net " << sites[s].net << " "
+        << fault_kind_name(sites[s].kind) << " (site " << s << ", group "
+        << s / 63 << ")";
+  }
+}
+
 // ---- scale: thousands of multi-format-unit sites ---------------------------
 
 TEST(FaultCampaign, CoversThousandsOfMfUnitSites) {
@@ -194,6 +267,47 @@ TEST(FaultCampaign, TransientFlipsDetectedThroughPipeline) {
 }
 
 // ---- vector sets -----------------------------------------------------------
+
+// The control pins ride inside the vector set and the campaign
+// classifies under exactly those pins (FaultVectors::pins()) -- there is
+// no second pin list to diverge.  With en pinned to 0, the AND output is
+// a ternary constant 0: its stuck-at-0 is undetectable by construction
+// (pinned-constant, not a vector gap), while its stuck-at-1 still flips
+// the output and must be detected.
+TEST(FaultCampaign, PinnedConstantClassificationUsesVectorPins) {
+  Circuit c;
+  const NetId a = c.input("a");
+  const NetId en = c.input("en");
+  const NetId g = c.and2(a, en);
+  c.output("o", g);
+  (void)a;
+
+  std::vector<TernaryPin> pins;
+  pin_port(c, "en", 0, pins);
+  const CompiledCircuit cc(c);
+  const auto sites = enumerate_stuck_faults(c);
+  ASSERT_EQ(sites.size(), 2u);
+  const FaultVectors fv = FaultVectors::exhaustive(c, pins);
+  const FaultCampaignReport rep = run_fault_campaign(cc, sites, fv);
+  EXPECT_EQ(rep.detected, 1u);
+  ASSERT_EQ(rep.undetected.size(), 1u);
+  EXPECT_EQ(rep.undetected[0].site.net, g);
+  EXPECT_EQ(rep.undetected[0].site.kind, FaultKind::kStuckAt0);
+  EXPECT_EQ(rep.undetected[0].cause, UndetectedCause::kPinnedConstant);
+  EXPECT_EQ(rep.undetected_pinned, 1u);
+  EXPECT_EQ(rep.undetected_gap, 0u);
+}
+
+// A stale pin list referencing a net outside the circuit must fail
+// loudly, not silently build vectors under different pins than intended.
+TEST(FaultVectors, OutOfRangePinNetThrows) {
+  Circuit c;
+  const NetId a = c.input("a");
+  c.output("o", c.not_(a));
+  const std::vector<TernaryPin> bad{{static_cast<NetId>(c.size()), true}};
+  EXPECT_THROW(FaultVectors(c, 4, /*seed=*/1, bad), std::invalid_argument);
+  EXPECT_THROW(FaultVectors::exhaustive(c, bad), std::invalid_argument);
+}
 
 TEST(FaultVectors, PinnedInputsHoldAndExhaustiveThrowsWhenTooWide) {
   Circuit c;

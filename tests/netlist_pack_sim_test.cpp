@@ -257,6 +257,33 @@ TEST(PackSim, FlipInvertsMaskedLanesEachEval) {
   EXPECT_EQ(ps.word(q), ~0ull);
 }
 
+TEST(PackSim, ResetRestoresPowerOnState) {
+  Circuit c;
+  const NetId a = c.input("a");
+  const NetId q = c.dff(a);
+  const NetId o = c.not_(q);
+  c.output("o", o);
+  PackSim ps(c);
+  ps.set(a, ~0ull);
+  ps.step();  // capture all-ones into the flop
+  ps.eval();
+  EXPECT_EQ(ps.word(q), ~0ull);
+
+  // Power-on state again: inputs, net words, and DFF state all zero,
+  // with combinational logic re-evaluated from that state.
+  ps.reset();
+  EXPECT_EQ(ps.word(a), 0u);
+  EXPECT_EQ(ps.word(q), 0u);
+  EXPECT_EQ(ps.word(o), ~0ull);
+
+  // Installed overrides survive reset() and apply to its eval(); the
+  // fault campaign calls clear_forces() first for a pristine baseline.
+  ps.force(q, 0b1, ~0ull);
+  ps.reset();
+  EXPECT_EQ(ps.word(q), 0b1ull);
+  EXPECT_EQ(ps.word(o), ~0b1ull);
+}
+
 TEST(PackSim, ForceOutOfRangeThrows) {
   Circuit c;
   c.output("o", c.not_(c.input("a")));

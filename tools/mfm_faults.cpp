@@ -20,6 +20,8 @@
 // below PCT, so CI can gate on it:
 //   mfm_faults --only=mult8 --vectors=256 --fail-under=97
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -73,7 +75,6 @@ struct Runner {
                                cli.seed, pins);
     FaultCampaignOptions opt;
     opt.cycles = cycles;
-    opt.pins = std::move(pins);
     const FaultCampaignReport rep =
         run_fault_campaign(cc, sites, vectors, opt);
     coverage.emplace_back(name, rep.coverage_pct());
@@ -121,6 +122,30 @@ void run_mf(Runner& r, const char* tag, const mfm::mf::MfOptions& build) {
   }
 }
 
+// Strict numeric argument parsers: a value that does not consume the
+// whole string is a usage error, never a silent 0 (atoi on a typo would
+// turn --fail-under=abc into an always-passing 0% gate).
+bool parse_long(const char* s, long& out) {
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtol(s, &end, 0);
+  return end != s && *end == '\0' && errno != ERANGE;
+}
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtoull(s, &end, 0);
+  return end != s && *end == '\0' && errno != ERANGE;
+}
+
+bool parse_double(const char* s, double& out) {
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtod(s, &end);
+  return end != s && *end == '\0' && errno != ERANGE;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -132,17 +157,32 @@ int main(int argc, char** argv) {
     } else if (arg == "--transient") {
       r.cli.transient = true;
     } else if (arg.rfind("--vectors=", 0) == 0) {
-      r.cli.vectors = std::atoi(arg.c_str() + 10);
-      if (r.cli.vectors < 2) {
-        std::fprintf(stderr, "mfm_faults: --vectors must be >= 2\n");
+      long v = 0;
+      if (!parse_long(arg.c_str() + 10, v) || v < 2 || v > 1'000'000) {
+        std::fprintf(stderr,
+                     "mfm_faults: bad --vectors value '%s' (need an integer "
+                     ">= 2)\n",
+                     arg.c_str() + 10);
         return 2;
       }
+      r.cli.vectors = static_cast<int>(v);
     } else if (arg.rfind("--seed=", 0) == 0) {
-      r.cli.seed = std::strtoull(arg.c_str() + 7, nullptr, 0);
+      if (!parse_u64(arg.c_str() + 7, r.cli.seed)) {
+        std::fprintf(stderr, "mfm_faults: bad --seed value '%s'\n",
+                     arg.c_str() + 7);
+        return 2;
+      }
     } else if (arg.rfind("--only=", 0) == 0) {
       r.cli.only = arg.substr(7);
     } else if (arg.rfind("--fail-under=", 0) == 0) {
-      r.cli.fail_under = std::atof(arg.c_str() + 13);
+      if (!parse_double(arg.c_str() + 13, r.cli.fail_under) ||
+          r.cli.fail_under < 0.0 || r.cli.fail_under > 100.0) {
+        std::fprintf(stderr,
+                     "mfm_faults: bad --fail-under value '%s' (need a "
+                     "percentage in [0, 100])\n",
+                     arg.c_str() + 13);
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: mfm_faults [--json] [--vectors=N] [--seed=S] "
