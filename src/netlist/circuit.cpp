@@ -215,6 +215,99 @@ NetId Circuit::mux2(NetId d0, NetId d1, NetId sel) {
   return add(GateKind::Mux2, d0, d1, sel);
 }
 
+// ---- rewriting -------------------------------------------------------------
+
+MergeRewrite Circuit::merge_rewrite(const std::vector<NetId>& leader) const {
+  if (leader.size() != gates_.size())
+    throw std::invalid_argument(
+        "merge_rewrite: leader map covers " + std::to_string(leader.size()) +
+        " nets, circuit has " + std::to_string(gates_.size()));
+  for (NetId n = 0; n < gates_.size(); ++n) {
+    const NetId l = leader[n];
+    if (l == kNoNet || l > n)
+      throw std::invalid_argument(
+          "merge_rewrite: leader of net " + std::to_string(n) + " is " +
+          std::to_string(l) + " (must be an earlier or equal net)");
+    if (leader[l] != l)
+      throw std::invalid_argument(
+          "merge_rewrite: leader map is not canonical at net " +
+          std::to_string(n) + " (leader " + std::to_string(l) +
+          " is itself merged into " + std::to_string(leader[l]) + ")");
+    const GateKind k = gates_[n].kind;
+    if (l != n && (k == GateKind::Input || k == GateKind::Dff))
+      throw std::invalid_argument(
+          std::string("merge_rewrite: ") + std::string(gate_name(k)) +
+          " net " + std::to_string(n) +
+          " cannot be merged away (externally driven / state)");
+  }
+
+  // Dead-gate sweep: mark everything reachable backwards from an output
+  // port through the rewired fan-ins.  Inputs and the constant sources
+  // are always kept so the port interface survives unchanged.
+  std::vector<std::uint8_t> keep(gates_.size(), 0);
+  std::vector<NetId> stack;
+  auto mark = [&](NetId n) {
+    const NetId l = leader[n];
+    if (!keep[l]) {
+      keep[l] = 1;
+      stack.push_back(l);
+    }
+  };
+  for (const auto& [name, bus] : out_ports_)
+    for (const NetId n : bus) mark(n);
+  while (!stack.empty()) {
+    const NetId n = stack.back();
+    stack.pop_back();
+    const Gate& g = gates_[n];
+    const int nin = fanin_count(g.kind);
+    for (int p = 0; p < nin; ++p) mark(g.in[static_cast<std::size_t>(p)]);
+  }
+
+  MergeRewrite out;
+  out.circuit = std::make_unique<Circuit>();
+  Circuit& nc = *out.circuit;
+  out.net_map.assign(gates_.size(), kNoNet);
+  // The constructor already created Const0/Const1 at ids 0/1, matching
+  // this circuit's constructor-created constants.
+  out.net_map[const0_] = nc.const0_;
+  out.net_map[const1_] = nc.const1_;
+  for (NetId n = 2; n < gates_.size(); ++n) {
+    const Gate& g = gates_[n];
+    if (leader[n] != n) {
+      ++out.merged_gates;
+      out.net_map[n] = out.net_map[leader[n]];
+      continue;
+    }
+    if (!keep[n] && g.kind != GateKind::Input) {
+      ++out.dead_gates;
+      continue;
+    }
+    nc.current_module_ = nc.intern_module(module_paths_[g.module]);
+    std::array<NetId, 4> in{kNoNet, kNoNet, kNoNet, kNoNet};
+    const int nin = fanin_count(g.kind);
+    for (int p = 0; p < nin; ++p) {
+      const auto pi = static_cast<std::size_t>(p);
+      in[pi] = out.net_map[leader[g.in[pi]]];
+    }
+    out.net_map[n] = nc.add(g.kind, in[0], in[1], in[2], in[3]);
+  }
+  nc.current_module_ = 0;
+
+  for (const auto& [name, bus] : in_ports_) {
+    Bus mapped(bus.size());
+    for (std::size_t i = 0; i < bus.size(); ++i)
+      mapped[i] = out.net_map[bus[i]];
+    nc.in_ports_[name] = std::move(mapped);
+  }
+  for (const auto& [name, bus] : out_ports_) {
+    Bus mapped(bus.size());
+    for (std::size_t i = 0; i < bus.size(); ++i)
+      mapped[i] = out.net_map[leader[bus[i]]];
+    nc.out_ports_[name] = std::move(mapped);
+  }
+  return out;
+}
+
 // ---- modules ---------------------------------------------------------------
 
 std::uint16_t Circuit::intern_module(const std::string& path) {

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -20,6 +21,19 @@ namespace mfm::netlist {
 
 /// An ordered collection of nets, index 0 = least-significant bit.
 using Bus = std::vector<NetId>;
+
+class Circuit;
+
+/// Result of Circuit::merge_rewrite(): the rewritten circuit plus the
+/// old-net -> new-net map and removal statistics.
+struct MergeRewrite {
+  std::unique_ptr<Circuit> circuit;
+  /// Net of the original circuit -> net in *circuit, chased through the
+  /// net's class leader; kNoNet for gates the dead-gate sweep dropped.
+  std::vector<NetId> net_map;
+  std::size_t merged_gates = 0;  ///< gates redirected into their leader
+  std::size_t dead_gates = 0;    ///< additionally dropped unreachable gates
+};
 
 /// A gate-level netlist plus named primary inputs and outputs.
 class Circuit {
@@ -85,6 +99,28 @@ class Circuit {
   NetId mux2(NetId d0, NetId d1, NetId sel);
   /// D flip-flop; returns Q.
   NetId dff(NetId d) { return add(GateKind::Dff, d); }
+
+  // ---- rewriting ---------------------------------------------------------
+
+  /// The checked merge/rewrite primitive behind netlist sweeping
+  /// (netlist/sweep.h): returns a copy of this circuit where every
+  /// fan-in and output-port net n is rewired to its class leader
+  /// @p leader[n], followed by a dead-gate sweep that drops every gate
+  /// no longer reachable backwards from an output port (primary inputs
+  /// and the constant sources are always kept, so the port interface
+  /// stays identical for check_equivalence).  Module labels, input/flop
+  /// ordering and port names are preserved.
+  ///
+  /// The caller is responsible for the *semantic* claim that each net
+  /// computes the same function as its leader (the sweep proves it);
+  /// this primitive enforces every *structural* precondition and throws
+  /// std::invalid_argument on violation:
+  ///   - leader.size() == size(), every entry != kNoNet;
+  ///   - leader[n] <= n (rewiring stays topological);
+  ///   - leader[leader[n]] == leader[n] (the map is canonical);
+  ///   - primary inputs and flops are their own leader (inputs are
+  ///     externally driven; a Dff is state, never merged away).
+  MergeRewrite merge_rewrite(const std::vector<NetId>& leader) const;
 
   // ---- module labelling --------------------------------------------------
 

@@ -3,6 +3,8 @@
 #include <bit>
 #include <random>
 #include <sstream>
+#include <stdexcept>
+#include <unordered_map>
 
 #include "netlist/compiled.h"
 #include "netlist/sim_pack.h"
@@ -19,6 +21,12 @@ using Assignment = std::vector<std::pair<std::string, u128>>;
 }  // namespace
 
 EquivResult check_equivalence(const Circuit& lhs, const Circuit& rhs,
+                              int random_vectors, std::uint64_t seed) {
+  return check_equivalence(lhs, rhs, {}, random_vectors, seed);
+}
+
+EquivResult check_equivalence(const Circuit& lhs, const Circuit& rhs,
+                              const std::vector<TernaryPin>& pins,
                               int random_vectors, std::uint64_t seed) {
   EquivResult res;
   if (!lhs.flops().empty() || !rhs.flops().empty()) {
@@ -56,6 +64,29 @@ EquivResult check_equivalence(const Circuit& lhs, const Circuit& rhs,
       res.counterexample = "output port mismatch: " + name;
       return res;
     }
+  }
+
+  // Pins, resolved to (mask, value) per named input port: every
+  // generated vector -- directed and random alike -- holds these bits,
+  // so the verdict is equivalence under the pinned mode.
+  std::unordered_map<std::string, std::pair<u128, u128>> pin_masks;
+  for (const TernaryPin& pin : pins) {
+    bool found = false;
+    for (const auto& [name, bus] : lhs.in_ports()) {
+      for (std::size_t i = 0; i < bus.size() && !found; ++i)
+        if (bus[i] == pin.net) {
+          auto& [mask, val] = pin_masks[name];
+          const u128 bit = static_cast<u128>(1) << i;
+          mask |= bit;
+          val = pin.value ? (val | bit) : (val & ~bit);
+          found = true;
+        }
+      if (found) break;
+    }
+    if (!found)
+      throw std::invalid_argument("check_equivalence: pin net " +
+                                  std::to_string(pin.net) +
+                                  " is not a primary input of lhs");
   }
 
   // Both circuits are compiled once and driven 64 vectors per eval()
@@ -117,6 +148,12 @@ EquivResult check_equivalence(const Circuit& lhs, const Circuit& rhs,
 
   auto push = [&](const Assignment& a) -> bool {
     batch.push_back(a);
+    if (!pin_masks.empty())
+      for (auto& [name, value] : batch.back()) {
+        const auto it = pin_masks.find(name);
+        if (it != pin_masks.end())
+          value = (value & ~it->second.first) | it->second.second;
+      }
     if (batch.size() < PackSim::kLanes) return true;
     return flush();
   };

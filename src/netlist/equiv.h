@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "netlist/circuit.h"
+#include "netlist/ternary.h"
 
 namespace mfm::netlist {
 
@@ -37,6 +38,18 @@ struct EquivResult {
 /// itself a non-equivalence (named in the counterexample) rather than
 /// being skipped.  Sequential circuits are rejected (flops != 0).
 EquivResult check_equivalence(const Circuit& lhs, const Circuit& rhs,
+                              int random_vectors = 20000,
+                              std::uint64_t seed = 0xEC);
+
+/// Constrained variant: every generated vector (directed and random)
+/// holds the pinned primary inputs at their pin values, so the check
+/// states equivalence *under a mode* -- what the netlist sweeper
+/// (netlist/sweep.h) needs to re-verify a circuit specialized under
+/// format control pins.  @p pins name primary-input nets of @p lhs (the
+/// same bit of the same-named port is pinned on @p rhs); throws
+/// std::invalid_argument when a pin net is not a primary input of lhs.
+EquivResult check_equivalence(const Circuit& lhs, const Circuit& rhs,
+                              const std::vector<TernaryPin>& pins,
                               int random_vectors = 20000,
                               std::uint64_t seed = 0xEC);
 

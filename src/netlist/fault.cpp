@@ -8,6 +8,7 @@
 
 #include "netlist/compiled.h"
 #include "netlist/lint.h"
+#include "netlist/report.h"
 #include "netlist/sim_pack.h"
 
 namespace mfm::netlist {
@@ -313,26 +314,6 @@ std::unique_ptr<Circuit> clone_with_stuck(const Circuit& src, NetId victim,
 }
 
 // ---- reports ---------------------------------------------------------------
-
-namespace {
-
-void json_escape_into(std::string& out, std::string_view s) {
-  for (const char ch : s) {
-    switch (ch) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20)
-          out += ' ';
-        else
-          out += ch;
-    }
-  }
-}
-
-}  // namespace
 
 std::string fault_report_text(const FaultCampaignReport& rep,
                               const std::string& title) {

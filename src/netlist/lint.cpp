@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "netlist/compiled.h"
+#include "netlist/report.h"
 #include "netlist/structural_hash.h"
 
 namespace mfm::netlist {
@@ -535,29 +536,6 @@ LintReport lint_circuit(const Circuit& c, const LintOptions& options) {
 }
 
 // ---- reports ---------------------------------------------------------------
-
-namespace {
-
-void json_escape_into(std::string& out, std::string_view s) {
-  for (const char ch : s) {
-    switch (ch) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
-          out += buf;
-        } else {
-          out += ch;
-        }
-    }
-  }
-}
-
-}  // namespace
 
 std::string lint_report_text(const LintReport& rep, const std::string& title) {
   std::ostringstream os;

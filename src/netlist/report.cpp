@@ -1,5 +1,6 @@
 #include "netlist/report.h"
 
+#include <cstdio>
 #include <sstream>
 
 namespace mfm::netlist {
@@ -38,6 +39,25 @@ double total_area_nand2(const Circuit& c, const TechLib& lib) {
   double a = 0.0;
   for (const Gate& g : c.gates()) a += lib.cell(g.kind).area_nand2;
   return a;
+}
+
+void json_escape_into(std::string& out, std::string_view s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
 }
 
 std::string format_kind_histogram(const Circuit& c) {

@@ -1,9 +1,13 @@
-// Area / structure reports over a Circuit.
+// Area / structure reports over a Circuit, plus the one shared JSON
+// string escaper every report emitter uses (lint, fault, sweep): the
+// escaping rules live here exactly once so the JSON consumers in CI
+// never see two reports disagree on what a control character becomes.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 
 #include "netlist/circuit.h"
 #include "netlist/techlib.h"
@@ -28,5 +32,9 @@ double total_area_nand2(const Circuit& c, const TechLib& lib);
 
 /// Formats a gate-kind histogram as a short text table.
 std::string format_kind_histogram(const Circuit& c);
+
+/// Appends @p s to @p out with JSON string escaping (quotes, backslash,
+/// \n, \t, and \uXXXX for the remaining control characters).
+void json_escape_into(std::string& out, std::string_view s);
 
 }  // namespace mfm::netlist

@@ -77,8 +77,12 @@ void PackSim::set_lane(NetId input_net, int lane, bool v) {
 }
 
 void PackSim::set_bus(const Bus& bus, int lane, u128 value) {
+  if (bus.size() > 128)
+    throw std::invalid_argument(
+        "PackSim::set_bus: bus wider than 128 bits (" +
+        std::to_string(bus.size()) + ")");
   for (std::size_t i = 0; i < bus.size(); ++i)
-    set_lane(bus[i], lane, i < 128 && bit_of(value, static_cast<int>(i)));
+    set_lane(bus[i], lane, bit_of(value, static_cast<int>(i)));
 }
 
 void PackSim::set_port(const std::string& name, int lane, u128 value) {

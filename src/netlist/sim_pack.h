@@ -47,6 +47,9 @@ class PackSim {
   /// Sets one lane of a primary input.
   void set_lane(NetId input_net, int lane, bool v);
   /// Sets lane @p lane of an input bus (LSB first) from @p value.
+  /// Throws std::invalid_argument on a bus wider than 128 bits (a wider
+  /// bus used to silently drive zeros into bits >= 128); read_bus has
+  /// the same always-on guard.
   void set_bus(const Bus& bus, int lane, u128 value);
   /// Sets a named input port in lane @p lane.
   void set_port(const std::string& name, int lane, u128 value);

@@ -1,0 +1,799 @@
+#include "netlist/sweep.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "netlist/compiled.h"
+#include "netlist/equiv.h"
+#include "netlist/report.h"
+#include "netlist/sim_pack.h"
+#include "netlist/structural_hash.h"
+
+namespace mfm::netlist {
+
+namespace {
+
+// ---- minimal DPLL ----------------------------------------------------------
+//
+// A two-watched-literal DPLL with chronological backtracking -- no
+// clause learning, no restarts.  It only ever decides miters of
+// signature-identical cones, which are almost always UNSAT with short
+// proofs; anything that exceeds the decision budget is reported as
+// unresolved and stays unmerged, so the solver being minimal can cost
+// optimization opportunity but never correctness.
+
+enum class SatOutcome { kUnsat, kSat, kLimit };
+
+class DpllSolver {
+ public:
+  explicit DpllSolver(int nvars)
+      : nvars_(nvars), assign_(static_cast<std::size_t>(nvars), -1),
+        watches_(2 * static_cast<std::size_t>(nvars)) {}
+
+  static int lit(int var, bool negated) { return 2 * var + (negated ? 1 : 0); }
+
+  /// Adds a clause; duplicate literals are removed and tautologies
+  /// (x or !x together) are dropped.
+  void add_clause(std::vector<int> lits) {
+    std::sort(lits.begin(), lits.end());
+    lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+    for (std::size_t i = 1; i < lits.size(); ++i)
+      if ((lits[i] ^ 1) == lits[i - 1]) return;  // tautology
+    if (lits.empty()) {
+      trivially_unsat_ = true;
+      return;
+    }
+    if (lits.size() == 1) {
+      units_.push_back(lits[0]);
+      return;
+    }
+    const int idx = static_cast<int>(clauses_.size());
+    clauses_.push_back(std::move(lits));
+    watches_[static_cast<std::size_t>(clauses_.back()[0])].push_back(idx);
+    watches_[static_cast<std::size_t>(clauses_.back()[1])].push_back(idx);
+  }
+
+  SatOutcome solve(long decision_limit) {
+    if (trivially_unsat_) return SatOutcome::kUnsat;
+    for (const int u : units_)
+      if (!enqueue(u)) return SatOutcome::kUnsat;
+    if (!propagate()) return SatOutcome::kUnsat;
+    long decisions = 0;
+    int next_var = 0;
+    for (;;) {
+      while (next_var < nvars_ && assign_[static_cast<std::size_t>(
+                                      next_var)] >= 0)
+        ++next_var;
+      if (next_var == nvars_) return SatOutcome::kSat;
+      if (++decisions > decision_limit) return SatOutcome::kLimit;
+      decisions_.push_back(
+          Decision{static_cast<int>(trail_.size()), next_var, false});
+      enqueue(lit(next_var, /*negated=*/true));  // try 0 first
+      while (!propagate()) {
+        // Chronological backtracking: undo to the deepest decision
+        // whose second phase is untried, flip it there.
+        int flip_var = -1;
+        while (!decisions_.empty()) {
+          const Decision d = decisions_.back();
+          decisions_.pop_back();
+          while (static_cast<int>(trail_.size()) > d.trail_size) {
+            assign_[static_cast<std::size_t>(trail_.back() >> 1)] = -1;
+            trail_.pop_back();
+          }
+          qhead_ = trail_.size();
+          if (!d.flipped) {
+            decisions_.push_back(Decision{d.trail_size, d.var, true});
+            flip_var = d.var;
+            break;
+          }
+        }
+        if (flip_var < 0) return SatOutcome::kUnsat;
+        enqueue(lit(flip_var, /*negated=*/false));
+        // Decisions are made in ascending var order, so every var below
+        // the flipped decision was assigned before that decision was
+        // taken and survived the chronological backtrack: the scan can
+        // resume there instead of rescanning from 0.
+        next_var = flip_var;
+      }
+    }
+  }
+
+ private:
+  struct Decision {
+    int trail_size;
+    int var;
+    bool flipped;
+  };
+
+  // 1 = literal true, 0 = false, -1 = unassigned.
+  int value(int l) const {
+    const int v = assign_[static_cast<std::size_t>(l >> 1)];
+    if (v < 0) return -1;
+    return (l & 1) ? 1 - v : v;
+  }
+
+  bool enqueue(int l) {
+    const int v = value(l);
+    if (v == 0) return false;
+    if (v < 0) {
+      assign_[static_cast<std::size_t>(l >> 1)] =
+          static_cast<std::int8_t>((l & 1) ? 0 : 1);
+      trail_.push_back(l);
+    }
+    return true;
+  }
+
+  bool propagate() {
+    while (qhead_ < trail_.size()) {
+      const int l = trail_[qhead_++];
+      const int fl = l ^ 1;  // this literal just became false
+      std::vector<int>& ws = watches_[static_cast<std::size_t>(fl)];
+      std::size_t keep = 0;
+      for (std::size_t i = 0; i < ws.size(); ++i) {
+        const int ci = ws[i];
+        std::vector<int>& cl = clauses_[static_cast<std::size_t>(ci)];
+        if (cl[0] == fl) std::swap(cl[0], cl[1]);
+        if (value(cl[0]) == 1) {
+          ws[keep++] = ci;
+          continue;
+        }
+        bool moved = false;
+        for (std::size_t k = 2; k < cl.size(); ++k)
+          if (value(cl[k]) != 0) {
+            std::swap(cl[1], cl[k]);
+            watches_[static_cast<std::size_t>(cl[1])].push_back(ci);
+            moved = true;
+            break;
+          }
+        if (moved) continue;
+        ws[keep++] = ci;  // stays watched on fl
+        if (!enqueue(cl[0])) {
+          for (++i; i < ws.size(); ++i) ws[keep++] = ws[i];
+          ws.resize(keep);
+          return false;
+        }
+      }
+      ws.resize(keep);
+    }
+    return true;
+  }
+
+  int nvars_;
+  bool trivially_unsat_ = false;
+  std::vector<std::int8_t> assign_;
+  std::vector<std::vector<int>> clauses_;
+  std::vector<std::vector<int>> watches_;
+  std::vector<int> units_;
+  std::vector<int> trail_;
+  std::vector<Decision> decisions_;
+  std::size_t qhead_ = 0;
+};
+
+// ---- signatures ------------------------------------------------------------
+
+std::uint64_t mix64(std::uint64_t h) {
+  h += 0x9E3779B97F4A7C15ull;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+  return h ^ (h >> 31);
+}
+
+// ---- cones -----------------------------------------------------------------
+
+/// Per-net pin state: 0 = free, 1 = pinned to 0, 2 = pinned to 1.
+using PinMap = std::vector<std::uint8_t>;
+
+bool is_cut(const Circuit& c, const PinMap& pinned, NetId n) {
+  if (pinned[n] != 0) return true;
+  const GateKind k = c.gate(n).kind;
+  return k == GateKind::Input || k == GateKind::Dff ||
+         k == GateKind::Const0 || k == GateKind::Const1;
+}
+
+/// Scratch shared across the many confirmation calls of one sweep
+/// (stamp-based visited marks avoid re-zeroing O(n) arrays per pair).
+struct ConfirmScratch {
+  std::vector<std::uint32_t> stamp;
+  std::vector<std::uint32_t> lidx;  // net -> dense local index
+  std::uint32_t epoch = 0;
+  std::vector<NetId> cone;  // non-cut gates, topological (ascending id)
+  std::vector<NetId> vars;  // free support: unpinned inputs + flop outputs
+  std::vector<NetId> cuts;  // constant cut nets (consts + pinned)
+};
+
+/// Gathers the combined cone of @p a and @p b up to the cut frontier.
+void gather_cone(const Circuit& c, const PinMap& pinned, NetId a, NetId b,
+                 ConfirmScratch& s) {
+  s.cone.clear();
+  s.vars.clear();
+  s.cuts.clear();
+  ++s.epoch;
+  std::vector<NetId> stack{a, b};
+  s.stamp[a] = s.epoch;
+  if (a != b) s.stamp[b] = s.epoch;
+  while (!stack.empty()) {
+    const NetId n = stack.back();
+    stack.pop_back();
+    if (is_cut(c, pinned, n)) {
+      const GateKind k = c.gate(n).kind;
+      if (pinned[n] != 0 || k == GateKind::Const0 || k == GateKind::Const1)
+        s.cuts.push_back(n);
+      else
+        s.vars.push_back(n);
+      continue;
+    }
+    s.cone.push_back(n);
+    const Gate& g = c.gate(n);
+    const int nin = fanin_count(g.kind);
+    for (int p = 0; p < nin; ++p) {
+      const NetId f = g.in[static_cast<std::size_t>(p)];
+      if (s.stamp[f] != s.epoch) {
+        s.stamp[f] = s.epoch;
+        stack.push_back(f);
+      }
+    }
+  }
+  std::sort(s.cone.begin(), s.cone.end());
+  std::sort(s.vars.begin(), s.vars.end());
+}
+
+std::uint64_t cut_word(const Circuit& c, const PinMap& pinned, NetId n) {
+  if (pinned[n] == 1) return 0;
+  if (pinned[n] == 2) return ~0ull;
+  return c.gate(n).kind == GateKind::Const1 ? ~0ull : 0;
+}
+
+/// Word-level evaluation of one gate (the PackSim lift, re-stated here
+/// for standalone cone evaluation).
+std::uint64_t eval_word(GateKind k, std::uint64_t a, std::uint64_t b,
+                        std::uint64_t c, std::uint64_t d) {
+  switch (k) {
+    case GateKind::Buf: return a;
+    case GateKind::Not: return ~a;
+    case GateKind::And2: return a & b;
+    case GateKind::Or2: return a | b;
+    case GateKind::Xor2: return a ^ b;
+    case GateKind::Nand2: return ~(a & b);
+    case GateKind::Nor2: return ~(a | b);
+    case GateKind::Xnor2: return ~(a ^ b);
+    case GateKind::AndNot2: return a & ~b;
+    case GateKind::OrNot2: return a | ~b;
+    case GateKind::And3: return a & b & c;
+    case GateKind::Or3: return a | b | c;
+    case GateKind::Xor3: return a ^ b ^ c;
+    case GateKind::Maj3: return (a & b) | (a & c) | (b & c);
+    case GateKind::Ao21: return (a & b) | c;
+    case GateKind::Oa21: return (a | b) & c;
+    case GateKind::Ao22: return (a & b) | (c & d);
+    case GateKind::Mux2: return (c & b) | (~c & a);
+    default: return 0;
+  }
+}
+
+enum class ConfirmOutcome { kProvenExhaustive, kProvenSat, kRefuted,
+                            kUnresolved };
+
+/// Exhaustive confirmation: evaluates both cones over every assignment
+/// of the free support, 64 assignments per pass.
+ConfirmOutcome confirm_exhaustive(const Circuit& c, const PinMap& pinned,
+                                  NetId a, NetId b, ConfirmScratch& s) {
+  static constexpr std::uint64_t kPat[6] = {
+      0xAAAAAAAAAAAAAAAAull, 0xCCCCCCCCCCCCCCCCull, 0xF0F0F0F0F0F0F0F0ull,
+      0xFF00FF00FF00FF00ull, 0xFFFF0000FFFF0000ull, 0xFFFFFFFF00000000ull};
+  const int k = static_cast<int>(s.vars.size());
+  // Dense local indices for every net the evaluation touches.
+  std::vector<std::uint64_t> val(s.vars.size() + s.cuts.size() +
+                                 s.cone.size());
+  std::uint32_t next = 0;
+  ++s.epoch;  // reuse stamp to mark "lidx valid this call"
+  auto index = [&](NetId n) {
+    s.stamp[n] = s.epoch;
+    s.lidx[n] = next++;
+  };
+  for (const NetId v : s.vars) index(v);
+  for (const NetId cu : s.cuts) {
+    index(cu);
+    val[s.lidx[cu]] = cut_word(c, pinned, cu);
+  }
+  for (const NetId g : s.cone) index(g);
+
+  const std::uint64_t passes = k > 6 ? (1ull << (k - 6)) : 1;
+  const std::uint64_t valid =
+      k >= 6 ? ~0ull : ((1ull << (1u << k)) - 1);
+  for (std::uint64_t pass = 0; pass < passes; ++pass) {
+    for (int i = 0; i < k; ++i)
+      val[s.lidx[s.vars[static_cast<std::size_t>(i)]]] =
+          i < 6 ? kPat[i] : ((pass >> (i - 6)) & 1 ? ~0ull : 0);
+    for (const NetId n : s.cone) {
+      const Gate& g = c.gate(n);
+      const int nin = fanin_count(g.kind);
+      const std::uint64_t wa = nin > 0 ? val[s.lidx[g.in[0]]] : 0;
+      const std::uint64_t wb = nin > 1 ? val[s.lidx[g.in[1]]] : 0;
+      const std::uint64_t wc = nin > 2 ? val[s.lidx[g.in[2]]] : 0;
+      const std::uint64_t wd = nin > 3 ? val[s.lidx[g.in[3]]] : 0;
+      val[s.lidx[n]] = eval_word(g.kind, wa, wb, wc, wd);
+    }
+    if (((val[s.lidx[a]] ^ val[s.lidx[b]]) & valid) != 0)
+      return ConfirmOutcome::kRefuted;
+  }
+  return ConfirmOutcome::kProvenExhaustive;
+}
+
+/// Random refutation over just the pair's cone: @p passes evaluations
+/// of 64 random support assignments each.  Returns true when a
+/// differing assignment was found (the pair is definitely not
+/// equivalent) -- the cheap filter that keeps signature collisions with
+/// wide support away from the CNF stage.
+bool random_refutes(const Circuit& c, const PinMap& pinned, NetId a, NetId b,
+                    int passes, std::uint64_t seed, ConfirmScratch& s) {
+  std::vector<std::uint64_t> val(s.vars.size() + s.cuts.size() +
+                                 s.cone.size());
+  std::uint32_t next = 0;
+  ++s.epoch;
+  auto index = [&](NetId n) {
+    s.stamp[n] = s.epoch;
+    s.lidx[n] = next++;
+  };
+  for (const NetId v : s.vars) index(v);
+  for (const NetId cu : s.cuts) {
+    index(cu);
+    val[s.lidx[cu]] = cut_word(c, pinned, cu);
+  }
+  for (const NetId g : s.cone) index(g);
+
+  std::mt19937_64 rng(seed ^ (0x9E3779B97F4A7C15ull * (a + 1)) ^
+                      (0xC2B2AE3D27D4EB4Full * (b + 1)));
+  for (int pass = 0; pass < passes; ++pass) {
+    for (const NetId v : s.vars) val[s.lidx[v]] = rng();
+    for (const NetId n : s.cone) {
+      const Gate& g = c.gate(n);
+      const int nin = fanin_count(g.kind);
+      const std::uint64_t wa = nin > 0 ? val[s.lidx[g.in[0]]] : 0;
+      const std::uint64_t wb = nin > 1 ? val[s.lidx[g.in[1]]] : 0;
+      const std::uint64_t wc = nin > 2 ? val[s.lidx[g.in[2]]] : 0;
+      const std::uint64_t wd = nin > 3 ? val[s.lidx[g.in[3]]] : 0;
+      val[s.lidx[n]] = eval_word(g.kind, wa, wb, wc, wd);
+    }
+    if (val[s.lidx[a]] != val[s.lidx[b]]) return true;
+  }
+  return false;
+}
+
+/// CNF miter confirmation: Tseitin-encodes both cones (shared gates
+/// shared) via per-gate truth tables, asserts a != b, and runs DPLL.
+ConfirmOutcome confirm_sat(const Circuit& c, const PinMap& pinned, NetId a,
+                           NetId b, long decision_limit, ConfirmScratch& s) {
+  ++s.epoch;
+  std::uint32_t next = 0;
+  auto index = [&](NetId n) {
+    s.stamp[n] = s.epoch;
+    s.lidx[n] = next++;
+  };
+  for (const NetId v : s.vars) index(v);
+  for (const NetId cu : s.cuts) index(cu);
+  for (const NetId g : s.cone) index(g);
+
+  DpllSolver solver(static_cast<int>(next));
+  for (const NetId cu : s.cuts)
+    solver.add_clause({DpllSolver::lit(
+        static_cast<int>(s.lidx[cu]),
+        /*negated=*/cut_word(c, pinned, cu) == 0)});
+  for (const NetId n : s.cone) {
+    const Gate& g = c.gate(n);
+    const int nin = fanin_count(g.kind);
+    const int out = static_cast<int>(s.lidx[n]);
+    for (unsigned row = 0; row < (1u << nin); ++row) {
+      const bool va = (row >> 0) & 1, vb = (row >> 1) & 1;
+      const bool vc = (row >> 2) & 1, vd = (row >> 3) & 1;
+      const bool fv = eval_gate(g.kind, va, vb, vc, vd);
+      std::vector<int> clause;
+      clause.reserve(static_cast<std::size_t>(nin) + 1);
+      for (int p = 0; p < nin; ++p)
+        clause.push_back(DpllSolver::lit(
+            static_cast<int>(s.lidx[g.in[static_cast<std::size_t>(p)]]),
+            /*negated=*/((row >> p) & 1) != 0));
+      clause.push_back(DpllSolver::lit(out, /*negated=*/!fv));
+      solver.add_clause(std::move(clause));
+    }
+  }
+  const int la = static_cast<int>(s.lidx[a]);
+  const int lb = static_cast<int>(s.lidx[b]);
+  solver.add_clause({DpllSolver::lit(la, false), DpllSolver::lit(lb, false)});
+  solver.add_clause({DpllSolver::lit(la, true), DpllSolver::lit(lb, true)});
+  switch (solver.solve(decision_limit)) {
+    case SatOutcome::kUnsat: return ConfirmOutcome::kProvenSat;
+    case SatOutcome::kSat: return ConfirmOutcome::kRefuted;
+    case SatOutcome::kLimit: return ConfirmOutcome::kUnresolved;
+  }
+  return ConfirmOutcome::kUnresolved;
+}
+
+// ---- sequential re-verification --------------------------------------------
+
+/// Randomized multi-cycle cosimulation of the original vs the merged
+/// sequential circuit: 64 independent lane sequences per round, pinned
+/// input bits held, every output port compared after every eval().
+bool cosim_verify(const Circuit& orig, const Circuit& merged,
+                  const std::vector<TernaryPin>& pins, int vector_budget,
+                  std::uint64_t seed, std::uint64_t* vectors_run,
+                  std::string* counterexample) {
+  const CompiledCircuit co(orig), cm(merged);
+  PackSim so(co), sm(cm);
+  // Pin masks per input port, from the original circuit's net ids.
+  std::unordered_map<std::string, std::pair<u128, u128>> pin_masks;
+  for (const TernaryPin& pin : pins)
+    for (const auto& [name, bus] : orig.in_ports())
+      for (std::size_t i = 0; i < bus.size(); ++i)
+        if (bus[i] == pin.net) {
+          auto& [mask, val] = pin_masks[name];
+          const u128 bit = static_cast<u128>(1) << i;
+          mask |= bit;
+          val = pin.value ? (val | bit) : (val & ~bit);
+        }
+
+  constexpr int kCycles = 8;
+  const int rounds =
+      std::max(1, vector_budget / (PackSim::kLanes * kCycles));
+  std::mt19937_64 rng(seed);
+  for (int round = 0; round < rounds; ++round) {
+    so.reset();
+    sm.reset();
+    for (int cycle = 0; cycle < kCycles; ++cycle) {
+      for (const auto& [name, bus] : orig.in_ports()) {
+        const int w = static_cast<int>(bus.size());
+        const u128 wmask = (w >= 128) ? ~static_cast<u128>(0)
+                                      : ((static_cast<u128>(1) << w) - 1);
+        for (int lane = 0; lane < PackSim::kLanes; ++lane) {
+          u128 v = (static_cast<u128>(rng()) << 64 | rng()) & wmask;
+          const auto it = pin_masks.find(name);
+          if (it != pin_masks.end())
+            v = (v & ~it->second.first) | it->second.second;
+          so.set_bus(bus, lane, v);
+          sm.set_bus(merged.in_port(name), lane, v);
+        }
+      }
+      so.eval();
+      sm.eval();
+      *vectors_run += PackSim::kLanes;
+      for (const auto& [name, bus] : orig.out_ports()) {
+        const Bus& mb = merged.out_port(name);
+        for (std::size_t i = 0; i < bus.size(); ++i)
+          if (so.word(bus[i]) != sm.word(mb[i])) {
+            std::ostringstream os;
+            os << "sequential cosim: output '" << name << "' bit " << i
+               << " differs in round " << round << " cycle " << cycle;
+            *counterexample = os.str();
+            return false;
+          }
+      }
+      so.clock();
+      sm.clock();
+    }
+  }
+  return true;
+}
+
+// ---- union-find ------------------------------------------------------------
+
+NetId uf_find(std::vector<NetId>& parent, NetId n) {
+  while (parent[n] != n) {
+    parent[n] = parent[parent[n]];  // path halving
+    n = parent[n];
+  }
+  return n;
+}
+
+}  // namespace
+
+SweepResult sweep_circuit(const Circuit& c, const SweepOptions& opt,
+                          const TechLib& lib) {
+  const CompiledCircuit cc(c);  // validates structure
+  const std::size_t n = c.size();
+
+  PinMap pinned(n, 0);
+  for (const TernaryPin& pin : opt.pins) {
+    if (pin.net >= n || c.gate(pin.net).kind != GateKind::Input)
+      throw std::invalid_argument(
+          "sweep_circuit: pin net " + std::to_string(pin.net) +
+          " is not a primary input");
+    pinned[pin.net] = pin.value ? 2 : 1;
+  }
+
+  SweepResult result;
+  SweepReport& rep = result.report;
+  rep.gates_before = n - c.primary_inputs().size() - 2;
+  rep.area_before_nand2 = total_area_nand2(c, lib);
+
+  // 1. Structural seed: strash duplicates are equal by construction.
+  const StrashResult strash = structural_hash(c);
+  std::vector<NetId> parent = strash.rep;
+  rep.strash_merged = strash.duplicate_gates;
+
+  // 1b. Ternary constant pre-merge: a net that Kleene propagation under
+  //     the pins proves stuck at 0/1 merges into that constant source
+  //     directly -- the blanked-cone bulk of a mode-specialized sweep,
+  //     proven without touching the solver.  Flops are X (first-cycle
+  //     semantics), matching the sweep's state-as-free-cut-variable
+  //     model: a steady-state-only constant must NOT be merged.
+  {
+    TernaryOptions topt;
+    topt.flops_transparent = false;
+    const TernaryResult tern = ternary_propagate(cc, opt.pins, topt);
+    for (NetId net = 2; net < n; ++net) {
+      const GateKind k = c.gate(net).kind;
+      if (k == GateKind::Input || k == GateKind::Dff) continue;
+      if (!tern_is_const(tern.at(net))) continue;
+      const NetId cst = tern.at(net) == Tern::k1 ? c.const1() : c.const0();
+      const NetId ra = uf_find(parent, cst);
+      const NetId rb = uf_find(parent, net);
+      if (ra != rb) {
+        parent[std::max(ra, rb)] = std::min(ra, rb);
+        ++rep.proven_ternary;
+      }
+    }
+  }
+
+  // 2. Signature refinement: hash every net's 64-lane PackSim word over
+  //    directed walking-one rounds plus random rounds.  Pinned inputs
+  //    are forced to their pin value; every DFF output is forced to a
+  //    fresh random word per round, making state a free cut variable --
+  //    so a proven merge is valid for every reachable state.
+  std::vector<std::uint64_t> sig(n, 0x517CC1B727220A95ull);
+  {
+    PackSim ps(cc);
+    std::mt19937_64 rng(opt.seed);
+    std::vector<NetId> free_vars;  // unpinned inputs, then flops
+    for (const NetId in : c.primary_inputs())
+      if (pinned[in] == 0) free_vars.push_back(in);
+    const std::size_t first_flop_var = free_vars.size();
+    for (const NetId q : c.flops()) free_vars.push_back(q);
+
+    auto run_round = [&](auto word_of) {
+      ps.clear_forces();
+      for (const TernaryPin& pin : opt.pins)
+        ps.force(pin.net, ~0ull, pin.value ? ~0ull : 0);
+      for (std::size_t i = 0; i < free_vars.size(); ++i) {
+        const std::uint64_t w = word_of(i);
+        if (i < first_flop_var)
+          ps.set(free_vars[i], w);
+        else
+          ps.force(free_vars[i], ~0ull, w);
+      }
+      ps.eval();
+      for (NetId net = 0; net < n; ++net)
+        sig[net] = mix64(sig[net] ^ ps.word(net));
+    };
+
+    // Directed rounds: lane 0 all-zeros, lane 1 all-ones, lanes 2..63
+    // walk a one across a 62-variable window per round.
+    const std::size_t windows =
+        std::min<std::size_t>(16, (free_vars.size() + 61) / 62);
+    for (std::size_t wdw = 0; wdw < windows; ++wdw)
+      run_round([&](std::size_t i) -> std::uint64_t {
+        const std::uint64_t ones_lane = 2;
+        if (i >= wdw * 62 && i < wdw * 62 + 62)
+          return (1ull << (2 + (i - wdw * 62))) | ones_lane;
+        return ones_lane;
+      });
+    for (int round = 0; round < opt.signature_rounds; ++round)
+      run_round([&](std::size_t) -> std::uint64_t { return rng(); });
+  }
+
+  // 3. Group strash class leaders by signature; confirm survivors
+  //    exactly and union proven pairs (leader = lowest net id).
+  std::unordered_map<std::uint64_t, std::vector<NetId>> groups;
+  groups.reserve(n);
+  for (NetId net = 0; net < n; ++net)
+    if (strash.rep[net] == net) groups[sig[net]].push_back(net);
+
+  ConfirmScratch scratch;
+  scratch.stamp.assign(n, 0);
+  scratch.lidx.assign(n, 0);
+
+  // Iterate groups in leader order so results are deterministic
+  // (unordered_map iteration order is not).
+  std::vector<const std::vector<NetId>*> ordered;
+  for (const auto& [h, members] : groups)
+    if (members.size() >= 2) ordered.push_back(&members);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto* x, const auto* y) {
+              return x->front() < y->front();
+            });
+
+  for (const auto* members : ordered) {
+    bool counted_class = false;
+    std::vector<NetId> reps{members->front()};
+    for (std::size_t mi = 1; mi < members->size(); ++mi) {
+      const NetId m = (*members)[mi];
+      const GateKind mk = c.gate(m).kind;
+      // Inputs are externally driven and a Dff is state: they may serve
+      // as a class leader but are never merged away.
+      if (mk == GateKind::Input || mk == GateKind::Dff) continue;
+      // Already proven equivalent (ternary constant pre-merge).
+      if (uf_find(parent, m) != m) continue;
+      if (!counted_class) {
+        ++rep.candidate_classes;
+        counted_class = true;
+      }
+      bool placed = false;
+      for (const NetId leader : reps) {
+        ++rep.candidates;
+        gather_cone(c, pinned, leader, m, scratch);
+        ConfirmOutcome out;
+        if (static_cast<int>(scratch.vars.size()) <=
+            opt.exhaustive_support_limit)
+          out = confirm_exhaustive(c, pinned, leader, m, scratch);
+        else if (random_refutes(c, pinned, leader, m,
+                                opt.random_refute_passes, opt.seed, scratch))
+          out = ConfirmOutcome::kRefuted;
+        else if (scratch.cone.size() > opt.max_cone_gates)
+          out = ConfirmOutcome::kUnresolved;
+        else
+          out = confirm_sat(c, pinned, leader, m, opt.dpll_decision_limit,
+                            scratch);
+        if (out == ConfirmOutcome::kProvenExhaustive ||
+            out == ConfirmOutcome::kProvenSat) {
+          if (out == ConfirmOutcome::kProvenExhaustive)
+            ++rep.proven_exhaustive;
+          else
+            ++rep.proven_sat;
+          const NetId ra = uf_find(parent, leader);
+          const NetId rb = uf_find(parent, m);
+          if (ra != rb) parent[std::max(ra, rb)] = std::min(ra, rb);
+          placed = true;
+          break;
+        }
+        if (out == ConfirmOutcome::kUnresolved) {
+          ++rep.unresolved;
+          placed = true;  // over budget: stop trying this net
+          break;
+        }
+        ++rep.refuted;
+      }
+      if (!placed) reps.push_back(m);  // distinct function, own sub-class
+    }
+  }
+
+  // 4. Canonical leader map and the checked merge.
+  result.leader.resize(n);
+  for (NetId net = 0; net < n; ++net)
+    result.leader[net] = uf_find(parent, net);
+  MergeRewrite merge = c.merge_rewrite(result.leader);
+  rep.merged_gates = merge.merged_gates;
+  rep.dead_gates = merge.dead_gates;
+  result.net_map = std::move(merge.net_map);
+  result.circuit = std::move(merge.circuit);
+
+  rep.gates_after =
+      result.circuit->size() - result.circuit->primary_inputs().size() - 2;
+  rep.area_after_nand2 = total_area_nand2(*result.circuit, lib);
+
+  // Per-module deltas (depth-2 subtrees, TechLib pricing).
+  {
+    const auto before = area_by_module(c, lib);
+    const auto after = area_by_module(*result.circuit, lib);
+    for (const auto& [path, ma] : before) {
+      const auto it = after.find(path);
+      const std::size_t g_after = it == after.end() ? 0 : it->second.gates;
+      const double a_after = it == after.end() ? 0.0 : it->second.area_nand2;
+      if (ma.gates > g_after)
+        rep.modules.push_back(SweepModuleDelta{
+            path, ma.gates - g_after, ma.area_nand2 - a_after});
+    }
+    std::sort(rep.modules.begin(), rep.modules.end(),
+              [](const SweepModuleDelta& x, const SweepModuleDelta& y) {
+                return x.area_removed_nand2 > y.area_removed_nand2;
+              });
+  }
+
+  // 5. Re-verification of the merged netlist against the original.
+  if (opt.verify) {
+    rep.verify_ran = true;
+    if (c.flops().empty()) {
+      const EquivResult eq = check_equivalence(
+          c, *result.circuit, opt.pins, opt.verify_vectors, opt.seed ^ 0xEC);
+      rep.verified = eq.equivalent;
+      rep.verify_vectors = eq.vectors;
+      if (!eq.equivalent) rep.counterexample = eq.counterexample;
+    } else {
+      rep.verified =
+          cosim_verify(c, *result.circuit, opt.pins, opt.verify_vectors,
+                       opt.seed ^ 0x5EC, &rep.verify_vectors,
+                       &rep.counterexample);
+    }
+  }
+  return result;
+}
+
+// ---- reports ---------------------------------------------------------------
+
+std::string sweep_report_text(const SweepReport& rep,
+                              const std::string& title) {
+  std::ostringstream os;
+  if (!title.empty()) os << "=== sweep: " << title << " ===\n";
+  char pct[32];
+  std::snprintf(pct, sizeof pct, "%.2f",
+                rep.area_before_nand2 > 0.0
+                    ? 100.0 * rep.area_removed_nand2() / rep.area_before_nand2
+                    : 0.0);
+  os << "gates " << rep.gates_before << " -> " << rep.gates_after
+     << " (merged " << rep.merged_gates << ", dead " << rep.dead_gates
+     << ")  area " << rep.area_before_nand2 << " -> " << rep.area_after_nand2
+     << " NAND2 (-" << pct << "%)\n";
+  os << "strash-merged " << rep.strash_merged << ", ternary constants "
+     << rep.proven_ternary << "; signature classes "
+     << rep.candidate_classes << ", confirmations " << rep.candidates
+     << ": exhaustive " << rep.proven_exhaustive << ", sat "
+     << rep.proven_sat << ", refuted " << rep.refuted << ", unresolved "
+     << rep.unresolved << "\n";
+  if (rep.verify_ran)
+    os << "verify: " << (rep.verified ? "PASS" : "FAIL") << " ("
+       << rep.verify_vectors << " vectors)"
+       << (rep.verified ? "" : " -- " + rep.counterexample) << "\n";
+  if (!rep.modules.empty()) {
+    os << "per-module (gates/area removed):\n";
+    for (const SweepModuleDelta& m : rep.modules) {
+      char area[32];
+      std::snprintf(area, sizeof area, "%.1f", m.area_removed_nand2);
+      os << "  " << m.path << ": " << m.gates_removed << " / " << area
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string sweep_report_json(const SweepReport& rep,
+                              const std::string& title) {
+  std::string j = "{\"unit\":\"";
+  json_escape_into(j, title);
+  char buf[64];
+  auto num = [&](const char* key, double v, bool more = true) {
+    std::snprintf(buf, sizeof buf, "\"%s\":%.3f%s", key, v, more ? "," : "");
+    j += buf;
+  };
+  auto count = [&](const char* key, std::uint64_t v, bool more = true) {
+    std::snprintf(buf, sizeof buf, "\"%s\":%llu%s", key,
+                  static_cast<unsigned long long>(v), more ? "," : "");
+    j += buf;
+  };
+  j += "\",";
+  count("gates_before", rep.gates_before);
+  count("gates_after", rep.gates_after);
+  count("gates_removed", rep.gates_removed());
+  num("area_before_nand2", rep.area_before_nand2);
+  num("area_after_nand2", rep.area_after_nand2);
+  num("area_removed_nand2", rep.area_removed_nand2());
+  count("strash_merged", rep.strash_merged);
+  count("proven_ternary", rep.proven_ternary);
+  count("candidate_classes", rep.candidate_classes);
+  count("candidates", rep.candidates);
+  count("proven_exhaustive", rep.proven_exhaustive);
+  count("proven_sat", rep.proven_sat);
+  count("refuted", rep.refuted);
+  count("unresolved", rep.unresolved);
+  count("merged_gates", rep.merged_gates);
+  count("dead_gates", rep.dead_gates);
+  j += std::string("\"verify_ran\":") + (rep.verify_ran ? "true" : "false") +
+       ",\"verified\":" + (rep.verified ? "true" : "false") + ",";
+  count("verify_vectors", rep.verify_vectors);
+  j += "\"counterexample\":\"";
+  json_escape_into(j, rep.counterexample);
+  j += "\",\"modules\":[";
+  for (std::size_t i = 0; i < rep.modules.size(); ++i) {
+    const SweepModuleDelta& m = rep.modules[i];
+    j += i == 0 ? "{\"path\":\"" : ",{\"path\":\"";
+    json_escape_into(j, m.path);
+    j += "\",";
+    count("gates_removed", m.gates_removed);
+    num("area_removed_nand2", m.area_removed_nand2, /*more=*/false);
+    j += "}";
+  }
+  j += "]}";
+  return j;
+}
+
+}  // namespace mfm::netlist

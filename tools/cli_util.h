@@ -1,0 +1,37 @@
+// Shared CLI helpers for the mfm_* tools.
+//
+// Strict numeric argument parsers: a value that does not consume the
+// whole string is a usage error, never a silent 0 -- atoi on a typo
+// would turn --fail-under=abc into an always-passing 0% gate, or
+// --fanout-threshold=1O0 (letter O) into a fire-on-everything 0.
+// Callers print their own usage message and exit 2 on a false return.
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+
+namespace mfm::cli {
+
+inline bool parse_long(const char* s, long& out) {
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtol(s, &end, 0);
+  return end != s && *end == '\0' && errno != ERANGE;
+}
+
+inline bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtoull(s, &end, 0);
+  return end != s && *end == '\0' && errno != ERANGE;
+}
+
+inline bool parse_double(const char* s, double& out) {
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtod(s, &end);
+  return end != s && *end == '\0' && errno != ERANGE;
+}
+
+}  // namespace mfm::cli

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_util.h"
 #include "mf/fp_reduce.h"
 #include "mf/mf_unit.h"
 #include "mult/fp_adder.h"
@@ -122,29 +123,9 @@ void run_mf(Runner& r, const char* tag, const mfm::mf::MfOptions& build) {
   }
 }
 
-// Strict numeric argument parsers: a value that does not consume the
-// whole string is a usage error, never a silent 0 (atoi on a typo would
-// turn --fail-under=abc into an always-passing 0% gate).
-bool parse_long(const char* s, long& out) {
-  char* end = nullptr;
-  errno = 0;
-  out = std::strtol(s, &end, 0);
-  return end != s && *end == '\0' && errno != ERANGE;
-}
-
-bool parse_u64(const char* s, std::uint64_t& out) {
-  char* end = nullptr;
-  errno = 0;
-  out = std::strtoull(s, &end, 0);
-  return end != s && *end == '\0' && errno != ERANGE;
-}
-
-bool parse_double(const char* s, double& out) {
-  char* end = nullptr;
-  errno = 0;
-  out = std::strtod(s, &end);
-  return end != s && *end == '\0' && errno != ERANGE;
-}
+using mfm::cli::parse_double;
+using mfm::cli::parse_long;
+using mfm::cli::parse_u64;
 
 }  // namespace
 

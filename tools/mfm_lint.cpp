@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_util.h"
 #include "mf/fp_reduce.h"
 #include "mf/mf_unit.h"
 #include "mult/fp_adder.h"
@@ -134,7 +135,16 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--only=", 0) == 0) {
       r.cli.only = arg.substr(7);
     } else if (arg.rfind("--fanout-threshold=", 0) == 0) {
-      r.cli.fanout_threshold = std::atoi(arg.c_str() + 19);
+      long v = 0;
+      if (!mfm::cli::parse_long(arg.c_str() + 19, v) || v < 0 ||
+          v > 1'000'000) {
+        std::fprintf(stderr,
+                     "mfm_lint: bad --fanout-threshold value '%s' (need an "
+                     "integer in [0, 1000000])\n",
+                     arg.c_str() + 19);
+        return 2;
+      }
+      r.cli.fanout_threshold = static_cast<int>(v);
     } else {
       std::fprintf(stderr,
                    "usage: mfm_lint [--json] [--fail-on=error|warning] "
