@@ -1,0 +1,85 @@
+// Rewrite throughput: the declarative pattern-match-and-rewrite engine
+// over real units.
+//
+// Runs the fixpoint rewrite pass (netlist/rewrite.h: compile ->
+// collect_matches over default_rewrite_rules -> replace_cone, iterated
+// to fixpoint, then the equivalence re-proof against the input) over
+// the 8x8 teaching multiplier, the radix-16 64-bit multiplier, and the
+// multi-format unit (combinational build), and reports wall time,
+// nets/s through the matcher, cone edits applied, and the area each
+// pass removes.  The re-verification is included in the timing because
+// no caller should ever run one without the other.
+//
+// Verification vectors: MFM_BENCH_VECTORS (default 512).
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/env.h"
+#include "mf/mf_unit.h"
+#include "mult/multiplier.h"
+#include "netlist/rewrite.h"
+
+using namespace mfm;
+using netlist::Circuit;
+using netlist::RewriteOptions;
+using netlist::RewriteResult;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  bench::header("opt_throughput: declarative pattern rewriting",
+                "methodology bench (rewrite engine, netlist/rewrite.h)");
+
+  const int vectors = common::env_positive_int("MFM_BENCH_VECTORS", 512);
+
+  mult::MultiplierOptions o8;
+  o8.n = 8;
+  o8.g = 4;
+  const mult::MultiplierUnit m8 = mult::build_multiplier(o8);
+  const mult::MultiplierUnit r16 = mult::build_radix16_64();
+
+  mf::MfOptions build;
+  build.pipeline = mf::MfPipeline::Combinational;
+  const mf::MfUnit mfu = mf::build_mf_unit(build);
+
+  struct Case {
+    std::string name;
+    const Circuit* circuit;
+  };
+  const Case cases[] = {
+      {"mult8", m8.circuit.get()},
+      {"radix16-64", r16.circuit.get()},
+      {"mf", mfu.circuit.get()},
+  };
+
+  bench::Table t;
+  t.row({"unit", "nets", "time [s]", "nets/s", "edits", "iters",
+         "area removed [NAND2]", "verified"});
+  for (const Case& cs : cases) {
+    RewriteOptions opt;
+    opt.verify_vectors = vectors;
+    const auto t0 = std::chrono::steady_clock::now();
+    const RewriteResult res = netlist::optimize_circuit(*cs.circuit, opt);
+    const double dt = seconds_since(t0);
+    t.row({cs.name, std::to_string(cs.circuit->size()),
+           bench::fmt("%.2f", dt),
+           bench::fmt("%.0f", static_cast<double>(cs.circuit->size()) / dt),
+           std::to_string(res.report.applied),
+           std::to_string(res.report.iterations),
+           bench::fmt("%.1f", res.report.area_removed_nand2()),
+           res.report.verified ? "yes" : "NO"});
+  }
+  t.print();
+  std::printf("\nverification vectors: %d\n", vectors);
+  return 0;
+}

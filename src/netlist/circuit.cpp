@@ -308,6 +308,182 @@ MergeRewrite Circuit::merge_rewrite(const std::vector<NetId>& leader) const {
   return out;
 }
 
+ConeRewrite Circuit::replace_cone(const std::vector<ConeEdit>& edits) const {
+  if (gates_.size() >= kConeLocal)
+    throw std::length_error(
+        "replace_cone: circuit too large for kConeLocal tagging");
+
+  // Pass 1: per-edit bookkeeping and local validation.  owner[n] is the
+  // 1-based index of the edit whose cone contains n (0 = survivor).
+  std::vector<std::uint32_t> owner(gates_.size(), 0);
+  std::vector<std::uint8_t> is_root(gates_.size(), 0);
+  for (std::size_t e = 0; e < edits.size(); ++e) {
+    const ConeEdit& ed = edits[e];
+    bool root_in_cone = false;
+    for (const NetId n : ed.cone) {
+      if (n >= gates_.size())
+        throw std::invalid_argument("replace_cone: cone net " +
+                                    std::to_string(n) + " out of range");
+      const GateKind k = gates_[n].kind;
+      if (k == GateKind::Input || k == GateKind::Dff ||
+          k == GateKind::Const0 || k == GateKind::Const1)
+        throw std::invalid_argument(
+            std::string("replace_cone: cone net ") + std::to_string(n) +
+            " is a " + std::string(gate_name(k)) +
+            " (only combinational gates can be replaced)");
+      if (owner[n])
+        throw std::invalid_argument("replace_cone: net " + std::to_string(n) +
+                                    " claimed by two cones");
+      owner[n] = static_cast<std::uint32_t>(e) + 1;
+      if (n == ed.root) root_in_cone = true;
+    }
+    if (!root_in_cone)
+      throw std::invalid_argument("replace_cone: root " +
+                                  std::to_string(ed.root) +
+                                  " is not a member of its cone");
+    is_root[ed.root] = 1;
+
+    for (std::size_t j = 0; j < ed.gates.size(); ++j) {
+      const ConeGate& cg = ed.gates[j];
+      if (cg.kind == GateKind::Input || cg.kind == GateKind::Dff ||
+          cg.kind == GateKind::Const0 || cg.kind == GateKind::Const1)
+        throw std::invalid_argument(
+            std::string("replace_cone: replacement gate may not be a ") +
+            std::string(gate_name(cg.kind)));
+      const int nin = fanin_count(cg.kind);
+      for (int p = 0; p < 4; ++p) {
+        const NetId r = cg.in[static_cast<std::size_t>(p)];
+        if (p >= nin) {
+          if (r != kNoNet)
+            throw std::invalid_argument(
+                std::string("replace_cone: ") +
+                std::string(gate_name(cg.kind)) + ": unused fan-in slot " +
+                std::to_string(p) + " must be kNoNet");
+          continue;
+        }
+        if (r == kNoNet)
+          throw std::invalid_argument(
+              std::string("replace_cone: ") +
+              std::string(gate_name(cg.kind)) + ": fan-in " +
+              std::to_string(p) + " missing");
+        if (r & kConeLocal) {
+          if ((r & ~kConeLocal) >= j)
+            throw std::invalid_argument(
+                "replace_cone: local fan-in must reference an earlier "
+                "replacement gate (gate " +
+                std::to_string(j) + " references local " +
+                std::to_string(r & ~kConeLocal) + ")");
+        } else if (r >= gates_.size()) {
+          throw std::invalid_argument("replace_cone: replacement fan-in net " +
+                                      std::to_string(r) + " out of range");
+        }
+      }
+    }
+    if (ed.out == kNoNet)
+      throw std::invalid_argument("replace_cone: edit output missing");
+    if (ed.out & kConeLocal) {
+      if ((ed.out & ~kConeLocal) >= ed.gates.size())
+        throw std::invalid_argument(
+            "replace_cone: edit output references local gate " +
+            std::to_string(ed.out & ~kConeLocal) + " of " +
+            std::to_string(ed.gates.size()));
+    } else if (ed.out >= gates_.size()) {
+      throw std::invalid_argument("replace_cone: edit output net " +
+                                  std::to_string(ed.out) + " out of range");
+    }
+  }
+
+  // Pass 2: non-root cone nets cease to exist, so every reader must sit
+  // inside the same cone and no output port may expose one.
+  for (NetId n = 0; n < gates_.size(); ++n) {
+    const Gate& g = gates_[n];
+    const int nin = fanin_count(g.kind);
+    for (int p = 0; p < nin; ++p) {
+      const NetId f = g.in[static_cast<std::size_t>(p)];
+      if (owner[f] && !is_root[f] && owner[n] != owner[f])
+        throw std::invalid_argument(
+            "replace_cone: internal cone net " + std::to_string(f) +
+            " is read by gate " + std::to_string(n) + " outside its cone");
+    }
+  }
+  for (const auto& [name, bus] : out_ports_)
+    for (const NetId n : bus)
+      if (owner[n] && !is_root[n])
+        throw std::invalid_argument("replace_cone: internal cone net " +
+                                    std::to_string(n) +
+                                    " is exposed by output port '" + name +
+                                    "'");
+
+  // Copy pass: survivors keep their relative order; each root is
+  // replaced in place by its edit's cone, so rewiring stays topological
+  // exactly when replacement references resolve to already-copied nets.
+  ConeRewrite out;
+  out.circuit = std::make_unique<Circuit>();
+  Circuit& nc = *out.circuit;
+  out.net_map.assign(gates_.size(), kNoNet);
+  out.net_map[const0_] = nc.const0_;
+  out.net_map[const1_] = nc.const1_;
+
+  std::vector<NetId> local;
+  auto resolve = [&](NetId r, const char* what) -> NetId {
+    if (r & kConeLocal) return local[r & ~kConeLocal];
+    const NetId m = out.net_map[r];
+    if (m == kNoNet)
+      throw std::invalid_argument(
+          std::string("replace_cone: ") + what + " references net " +
+          std::to_string(r) +
+          " which is removed or not yet defined at the splice point");
+    return m;
+  };
+
+  for (NetId n = 2; n < gates_.size(); ++n) {
+    const Gate& g = gates_[n];
+    if (owner[n]) {
+      ++out.removed_gates;
+      if (!is_root[n]) continue;
+      const ConeEdit& ed = edits[owner[n] - 1];
+      nc.current_module_ = nc.intern_module(module_paths_[g.module]);
+      local.assign(ed.gates.size(), kNoNet);
+      for (std::size_t j = 0; j < ed.gates.size(); ++j) {
+        const ConeGate& cg = ed.gates[j];
+        std::array<NetId, 4> in{kNoNet, kNoNet, kNoNet, kNoNet};
+        const int nin = fanin_count(cg.kind);
+        for (int p = 0; p < nin; ++p) {
+          const auto pi = static_cast<std::size_t>(p);
+          in[pi] = resolve(cg.in[pi], "replacement fan-in");
+        }
+        local[j] = nc.add(cg.kind, in[0], in[1], in[2], in[3]);
+        ++out.added_gates;
+      }
+      out.net_map[n] = resolve(ed.out, "edit output");
+      continue;
+    }
+    nc.current_module_ = nc.intern_module(module_paths_[g.module]);
+    std::array<NetId, 4> in{kNoNet, kNoNet, kNoNet, kNoNet};
+    const int nin = fanin_count(g.kind);
+    for (int p = 0; p < nin; ++p) {
+      const auto pi = static_cast<std::size_t>(p);
+      in[pi] = out.net_map[g.in[pi]];
+    }
+    out.net_map[n] = nc.add(g.kind, in[0], in[1], in[2], in[3]);
+  }
+  nc.current_module_ = 0;
+
+  for (const auto& [name, bus] : in_ports_) {
+    Bus mapped(bus.size());
+    for (std::size_t i = 0; i < bus.size(); ++i)
+      mapped[i] = out.net_map[bus[i]];
+    nc.in_ports_[name] = std::move(mapped);
+  }
+  for (const auto& [name, bus] : out_ports_) {
+    Bus mapped(bus.size());
+    for (std::size_t i = 0; i < bus.size(); ++i)
+      mapped[i] = out.net_map[bus[i]];
+    nc.out_ports_[name] = std::move(mapped);
+  }
+  return out;
+}
+
 // ---- modules ---------------------------------------------------------------
 
 std::uint16_t Circuit::intern_module(const std::string& path) {

@@ -35,6 +35,48 @@ struct MergeRewrite {
   std::size_t dead_gates = 0;    ///< additionally dropped unreachable gates
 };
 
+/// Marks a ConeGate fan-in (or a ConeEdit::out) as a reference to an
+/// earlier gate of the same replacement cone -- (kConeLocal | i) names
+/// replacement gate i -- instead of a net of the original circuit.
+inline constexpr NetId kConeLocal = 0x8000'0000u;
+
+/// One gate of a replacement cone for Circuit::replace_cone().  Used
+/// fan-in slots reference either surviving nets of the original circuit
+/// (resolved at the splice point, so they must be defined before the
+/// edit's root) or earlier gates of the same replacement via kConeLocal.
+struct ConeGate {
+  GateKind kind = GateKind::Buf;
+  std::array<NetId, 4> in{kNoNet, kNoNet, kNoNet, kNoNet};
+};
+
+/// One cone-for-cone edit: remove the matched gates in @p cone, splice
+/// the replacement @p gates in at the root's position, and rewire every
+/// reader of @p root (fan-ins and output ports) to @p out.
+struct ConeEdit {
+  /// Gates removed by this edit.  Must contain @p root; every non-root
+  /// member must be read only by gates of this cone and by no output
+  /// port (its value ceases to exist).
+  std::vector<NetId> cone;
+  /// The net whose function the replacement recomputes.
+  NetId root = kNoNet;
+  /// Replacement cone, emitted in order at the root's position (may be
+  /// empty for pure rewiring edits such as an inverter-pair collapse).
+  std::vector<ConeGate> gates;
+  /// What readers of @p root are rewired to: a surviving original net
+  /// defined before the root, or (kConeLocal | i) for replacement gate i.
+  NetId out = kNoNet;
+};
+
+/// Result of Circuit::replace_cone(): the rewritten circuit plus the
+/// old-net -> new-net map (kNoNet for removed cone gates; the root maps
+/// to its resolved replacement net) and edit statistics.
+struct ConeRewrite {
+  std::unique_ptr<Circuit> circuit;
+  std::vector<NetId> net_map;
+  std::size_t removed_gates = 0;  ///< cone gates dropped
+  std::size_t added_gates = 0;    ///< replacement gates spliced in
+};
+
 /// A gate-level netlist plus named primary inputs and outputs.
 class Circuit {
  public:
@@ -121,6 +163,32 @@ class Circuit {
   ///   - primary inputs and flops are their own leader (inputs are
   ///     externally driven; a Dff is state, never merged away).
   MergeRewrite merge_rewrite(const std::vector<NetId>& leader) const;
+
+  /// The checked cone-for-cone rewrite primitive behind the pattern
+  /// engine (netlist/rewrite.h): returns a copy of this circuit where
+  /// each edit's matched cone is removed and its replacement cone is
+  /// spliced in at the root's position, with every reader of the root
+  /// (gate fan-ins and output ports) rewired to the replacement output.
+  /// Module labels of replacement gates inherit the root's label;
+  /// input/flop ordering and port names are preserved.  An empty edit
+  /// list degenerates to a plain copy.
+  ///
+  /// The caller owns the *semantic* claim that each replacement
+  /// recomputes its root's function (the pass re-proves it with
+  /// check_equivalence); this primitive enforces every *structural*
+  /// precondition and throws std::invalid_argument on violation:
+  ///   - every cone net is in range, combinational, and not a constant
+  ///     source, a primary input, or a flop;
+  ///   - each edit's root is a member of its cone; no net appears in
+  ///     two cones (or twice in one);
+  ///   - every reader of a non-root cone net is a gate of the same
+  ///     edit's cone, and no output port exposes it (its value ceases
+  ///     to exist);
+  ///   - replacement fan-ins and ConeEdit::out resolve to surviving
+  ///     nets defined before the root (rewiring stays topological) or
+  ///     to earlier gates of the same replacement via kConeLocal;
+  ///   - each ConeGate uses exactly the fan-in slots its kind needs.
+  ConeRewrite replace_cone(const std::vector<ConeEdit>& edits) const;
 
   // ---- module labelling --------------------------------------------------
 

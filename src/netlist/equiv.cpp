@@ -1,5 +1,6 @@
 #include "netlist/equiv.h"
 
+#include <algorithm>
 #include <bit>
 #include <random>
 #include <sstream>
@@ -199,6 +200,96 @@ EquivResult check_equivalence(const Circuit& lhs, const Circuit& rhs,
     if (!push(assign)) return res;
   }
   flush();
+  return res;
+}
+
+EquivResult check_equivalence_cosim(const Circuit& lhs, const Circuit& rhs,
+                                    const std::vector<TernaryPin>& pins,
+                                    int vector_budget, std::uint64_t seed) {
+  EquivResult res;
+  for (const auto& [name, bus] : lhs.in_ports()) {
+    auto it = rhs.in_ports().find(name);
+    if (it == rhs.in_ports().end() || it->second.size() != bus.size()) {
+      res.equivalent = false;
+      res.counterexample = "input port mismatch: " + name;
+      return res;
+    }
+  }
+  for (const auto& [name, bus] : lhs.out_ports()) {
+    auto it = rhs.out_ports().find(name);
+    if (it == rhs.out_ports().end() || it->second.size() != bus.size()) {
+      res.equivalent = false;
+      res.counterexample = "output port mismatch: " + name;
+      return res;
+    }
+  }
+  for (const auto& [name, bus] : rhs.out_ports()) {
+    (void)bus;
+    if (!lhs.out_ports().contains(name)) {
+      res.equivalent = false;
+      res.counterexample = "output port mismatch: " + name;
+      return res;
+    }
+  }
+  for (const TernaryPin& pin : pins)
+    if (pin.net >= lhs.size() || lhs.gate(pin.net).kind != GateKind::Input)
+      throw std::invalid_argument(
+          "check_equivalence_cosim: pin net " + std::to_string(pin.net) +
+          " is not a primary input of lhs");
+
+  const CompiledCircuit cl(lhs), cr(rhs);
+  PackSim sl(cl), sr(cr);
+  // Pin masks per input port, from lhs's net ids.
+  std::unordered_map<std::string, std::pair<u128, u128>> pin_masks;
+  for (const TernaryPin& pin : pins)
+    for (const auto& [name, bus] : lhs.in_ports())
+      for (std::size_t i = 0; i < bus.size(); ++i)
+        if (bus[i] == pin.net) {
+          auto& [mask, val] = pin_masks[name];
+          const u128 bit = static_cast<u128>(1) << i;
+          mask |= bit;
+          val = pin.value ? (val | bit) : (val & ~bit);
+        }
+
+  constexpr int kCycles = 8;
+  const int rounds = std::max(1, vector_budget / (PackSim::kLanes * kCycles));
+  std::mt19937_64 rng(seed);
+  for (int round = 0; round < rounds; ++round) {
+    sl.reset();
+    sr.reset();
+    for (int cycle = 0; cycle < kCycles; ++cycle) {
+      for (const auto& [name, bus] : lhs.in_ports()) {
+        const int w = static_cast<int>(bus.size());
+        const u128 wmask = (w >= 128) ? ~static_cast<u128>(0)
+                                      : ((static_cast<u128>(1) << w) - 1);
+        for (int lane = 0; lane < PackSim::kLanes; ++lane) {
+          u128 v = (static_cast<u128>(rng()) << 64 | rng()) & wmask;
+          const auto it = pin_masks.find(name);
+          if (it != pin_masks.end())
+            v = (v & ~it->second.first) | it->second.second;
+          sl.set_bus(bus, lane, v);
+          sr.set_bus(rhs.in_port(name), lane, v);
+        }
+      }
+      sl.eval();
+      sr.eval();
+      res.vectors += PackSim::kLanes;
+      for (const auto& [name, bus] : lhs.out_ports()) {
+        const Bus& rb = rhs.out_port(name);
+        for (std::size_t i = 0; i < bus.size(); ++i)
+          if (sl.word(bus[i]) != sr.word(rb[i])) {
+            std::ostringstream os;
+            os << "sequential cosim: output '" << name << "' bit " << i
+               << " differs in round " << round << " cycle " << cycle;
+            res.equivalent = false;
+            res.counterexample = os.str();
+            return res;
+          }
+      }
+      sl.clock();
+      sr.clock();
+    }
+  }
   return res;
 }
 

@@ -53,4 +53,16 @@ EquivResult check_equivalence(const Circuit& lhs, const Circuit& rhs,
                               int random_vectors = 20000,
                               std::uint64_t seed = 0xEC);
 
+/// Sequential counterpart: randomized multi-cycle cosimulation of @p lhs
+/// against @p rhs from power-on state -- 64 independent lane sequences
+/// per round, 8 cycles per round, pinned input bits held on every cycle,
+/// every output port compared after every evaluation.  Both circuits
+/// must expose the same ports; @p pins name primary-input nets of lhs.
+/// This is what the sweep and rewrite passes use to re-verify rewritten
+/// sequential circuits, where the combinational check refuses to run.
+EquivResult check_equivalence_cosim(const Circuit& lhs, const Circuit& rhs,
+                                    const std::vector<TernaryPin>& pins,
+                                    int vector_budget = 20000,
+                                    std::uint64_t seed = 0xEC);
+
 }  // namespace mfm::netlist

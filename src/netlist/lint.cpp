@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "netlist/compiled.h"
+#include "netlist/pattern.h"
 #include "netlist/report.h"
 #include "netlist/structural_hash.h"
 
@@ -20,6 +21,7 @@ std::string_view lint_rule_name(LintRule r) {
     case LintRule::kDuplicate: return "duplicate";
     case LintRule::kUnobservable: return "unobservable";
     case LintRule::kFanout: return "fanout";
+    case LintRule::kFusion: return "fusion";
   }
   return "?";
 }
@@ -59,7 +61,7 @@ class Findings {
  private:
   LintReport& report_;
   int max_per_rule_;
-  std::array<int, 6> emitted_{};
+  std::array<int, 7> emitted_{};
 };
 
 std::string net_label(const Circuit& c, NetId n) {
@@ -333,7 +335,8 @@ LintReport lint_circuit(const Circuit& c, const LintOptions& options) {
   // validated the circuit -- CompiledCircuit requires a well-formed DAG.
   std::optional<CompiledCircuit> compiled;
   if (valid && (options.check_constants || options.check_unobservable ||
-                options.check_fanout || !options.lanes.empty()))
+                options.check_fanout || options.check_fusion ||
+                !options.lanes.empty()))
     compiled.emplace(c);
 
   // constant -- ternary propagation under the pins.
@@ -527,6 +530,23 @@ LintReport lint_circuit(const Circuit& c, const LintOptions& options) {
     }
   }
 
+  // fusion -- advisory AO/OA compound-cell opportunities, via the same
+  // matcher and greedy overlap resolution the optimizer pass applies.
+  if (valid && options.check_fusion) {
+    rep.fusion_ran = true;
+    const PatternContext ctx(*compiled, TechLib::lp45());
+    for (const CollectedMatch& m :
+         collect_matches(ctx, fusion_rewrite_rules())) {
+      ++rep.fusion_opportunities;
+      rep.fusion_area_nand2 += m.area_saved_nand2;
+      char area[32];
+      std::snprintf(area, sizeof area, "%.2f", m.area_saved_nand2);
+      out.add(LintRule::kFusion, LintSeverity::kInfo, m.edit.root,
+              net_label(c, m.edit.root) + " fusable (" +
+                  std::string(m.rule->name()) + ", -" + area + " NAND2)");
+    }
+  }
+
   // Drop modules no rule touched so reports stay small.
   rep.modules.erase(
       std::remove_if(rep.modules.begin(), rep.modules.end(),
@@ -569,6 +589,12 @@ std::string lint_report_text(const LintReport& rep, const std::string& title) {
     for (std::size_t b = 0; b < rep.fanout_hist.size(); ++b)
       if (rep.fanout_hist[b] != 0) os << " [" << b << "]=" << rep.fanout_hist[b];
     os << "\n";
+  }
+  if (rep.fusion_ran) {
+    char area[32];
+    std::snprintf(area, sizeof area, "%.2f", rep.fusion_area_nand2);
+    os << "fusion: " << rep.fusion_opportunities
+       << " unfused AO/OA opportunity(ies), " << area << " NAND2 fusable\n";
   }
   for (const LintFinding& f : rep.findings)
     os << "  " << lint_severity_name(f.severity) << " ["
@@ -658,6 +684,13 @@ std::string lint_report_json(const LintReport& rep, const std::string& title) {
       j += std::to_string(rep.fanout_hist[b]);
     }
     j += "]";
+  }
+  if (rep.fusion_ran) {
+    num("fusion_opportunities", rep.fusion_opportunities);
+    key("fusion_area_nand2");
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", rep.fusion_area_nand2);
+    j += buf;
   }
   key("findings");
   j += "[";

@@ -41,6 +41,12 @@
 //  fanout          Per-module fanout histogram, the maximum-fanout nets,
 //                  and buffer-chain / double-inverter detection.
 //
+//  fusion          Advisory: unfused AO/OA compound-cell opportunities
+//                  (AND+OR pairs an Ao21/Ao22/Oa21 cell would replace at
+//                  lower TechLib area), found with the SAME matcher the
+//                  optimizer pass applies (netlist/pattern.h), so this
+//                  analysis and tools/mfm_opt can never disagree.
+//
 // verify_circuit() (netlist/verify.h) is now a thin wrapper over the
 // structure rule, so every existing caller goes through the analyzer.
 #pragma once
@@ -63,6 +69,7 @@ enum class LintRule : std::uint8_t {
   kDuplicate,
   kUnobservable,
   kFanout,
+  kFusion,
 };
 
 std::string_view lint_rule_name(LintRule r);
@@ -115,6 +122,7 @@ struct LintOptions {
   bool check_duplicates = true;
   bool check_unobservable = true;
   bool check_fanout = true;
+  bool check_fusion = true;
 
   /// Cap on emitted findings per rule (counts stay exact).
   int max_findings_per_rule = 16;
@@ -161,6 +169,11 @@ struct LintReport {
   NetId max_fanout_net = kNoNet;
   std::size_t buffer_chain_gates = 0;  ///< Buf->Buf and Not->Not pairs
   std::vector<std::size_t> fanout_hist;  ///< kFanoutBuckets entries
+
+  // fusion rule
+  bool fusion_ran = false;
+  std::size_t fusion_opportunities = 0;  ///< unfused AO/OA cone matches
+  double fusion_area_nand2 = 0.0;        ///< area the fusions would remove
 
   std::vector<ModuleLintStats> modules;
 

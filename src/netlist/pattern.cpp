@@ -1,0 +1,328 @@
+#include "netlist/pattern.h"
+
+namespace mfm::netlist {
+
+PatternContext::PatternContext(const CompiledCircuit& cc, const TechLib& lib)
+    : cc_(cc), lib_(lib), port_net_(cc.size(), 0) {
+  for (const auto& [name, bus] : cc.circuit().out_ports()) {
+    (void)name;
+    for (const NetId n : bus) port_net_[n] = 1;
+  }
+}
+
+bool PatternContext::internal_to(NetId n, NetId reader) const {
+  if (port_net_[n]) return false;
+  const auto fo = cc_.fanout(n);
+  if (fo.empty()) return false;
+  for (const NetId g : fo)
+    if (g != reader) return false;
+  return true;
+}
+
+double edit_area_saved(const PatternContext& ctx, const ConeEdit& edit) {
+  double saved = 0.0;
+  for (const NetId n : edit.cone) saved += ctx.area(ctx.kind(n));
+  for (const ConeGate& g : edit.gates) saved -= ctx.area(g.kind);
+  return saved;
+}
+
+namespace {
+
+ConeGate cg1(GateKind k, NetId a) { return ConeGate{k, {a, kNoNet, kNoNet, kNoNet}}; }
+ConeGate cg2(GateKind k, NetId a, NetId b) { return ConeGate{k, {a, b, kNoNet, kNoNet}}; }
+ConeGate cg4(GateKind k, NetId a, NetId b, NetId c, NetId d) {
+  return ConeGate{k, {a, b, c, d}};
+}
+
+/// (a&b) | (c&d) -> Ao22 when both And2 fan-ins are swallowed whole.
+class FuseAo22 final : public RewriteRule {
+ public:
+  std::string_view name() const override { return "fuse-ao22"; }
+  std::optional<ConeEdit> match(const PatternContext& ctx,
+                                NetId root) const override {
+    if (ctx.kind(root) != GateKind::Or2) return std::nullopt;
+    const Gate& g = ctx.gate(root);
+    const NetId p = g.in[0], q = g.in[1];
+    if (p == q) return std::nullopt;
+    if (ctx.kind(p) != GateKind::And2 || ctx.kind(q) != GateKind::And2)
+      return std::nullopt;
+    if (!ctx.internal_to(p, root) || !ctx.internal_to(q, root))
+      return std::nullopt;
+    const Gate& gp = ctx.gate(p);
+    const Gate& gq = ctx.gate(q);
+    ConeEdit e;
+    e.cone = {p, q, root};
+    e.root = root;
+    e.gates = {cg4(GateKind::Ao22, gp.in[0], gp.in[1], gq.in[0], gq.in[1])};
+    e.out = kConeLocal | 0;
+    return e;
+  }
+};
+
+/// (a&b) | c -> Ao21 when the And2 is swallowed whole.
+class FuseAo21 final : public RewriteRule {
+ public:
+  std::string_view name() const override { return "fuse-ao21"; }
+  std::optional<ConeEdit> match(const PatternContext& ctx,
+                                NetId root) const override {
+    if (ctx.kind(root) != GateKind::Or2) return std::nullopt;
+    const Gate& g = ctx.gate(root);
+    for (int side = 0; side < 2; ++side) {
+      const NetId fused = g.in[static_cast<std::size_t>(side)];
+      const NetId other = g.in[static_cast<std::size_t>(1 - side)];
+      if (fused == other) continue;
+      if (ctx.kind(fused) != GateKind::And2) continue;
+      if (!ctx.internal_to(fused, root)) continue;
+      const Gate& gf = ctx.gate(fused);
+      ConeEdit e;
+      e.cone = {fused, root};
+      e.root = root;
+      e.gates = {ConeGate{GateKind::Ao21,
+                          {gf.in[0], gf.in[1], other, kNoNet}}};
+      e.out = kConeLocal | 0;
+      return e;
+    }
+    return std::nullopt;
+  }
+};
+
+/// (a|b) & c -> Oa21 when the Or2 is swallowed whole.
+class FuseOa21 final : public RewriteRule {
+ public:
+  std::string_view name() const override { return "fuse-oa21"; }
+  std::optional<ConeEdit> match(const PatternContext& ctx,
+                                NetId root) const override {
+    if (ctx.kind(root) != GateKind::And2) return std::nullopt;
+    const Gate& g = ctx.gate(root);
+    for (int side = 0; side < 2; ++side) {
+      const NetId fused = g.in[static_cast<std::size_t>(side)];
+      const NetId other = g.in[static_cast<std::size_t>(1 - side)];
+      if (fused == other) continue;
+      if (ctx.kind(fused) != GateKind::Or2) continue;
+      if (!ctx.internal_to(fused, root)) continue;
+      const Gate& gf = ctx.gate(fused);
+      ConeEdit e;
+      e.cone = {fused, root};
+      e.root = root;
+      e.gates = {ConeGate{GateKind::Oa21,
+                          {gf.in[0], gf.in[1], other, kNoNet}}};
+      e.out = kConeLocal | 0;
+      return e;
+    }
+    return std::nullopt;
+  }
+};
+
+/// Buffer forwarding and inverter-chain collapse: Buf(x) -> x,
+/// Not(Not(x)) -> x, Not(Buf(x)) -> Not(x).
+class CollapseChain final : public RewriteRule {
+ public:
+  std::string_view name() const override { return "collapse-chain"; }
+  std::optional<ConeEdit> match(const PatternContext& ctx,
+                                NetId root) const override {
+    const GateKind k = ctx.kind(root);
+    if (k == GateKind::Buf) {
+      ConeEdit e;
+      e.cone = {root};
+      e.root = root;
+      e.out = ctx.gate(root).in[0];
+      return e;
+    }
+    if (k != GateKind::Not) return std::nullopt;
+    const NetId inner = ctx.gate(root).in[0];
+    const GateKind ki = ctx.kind(inner);
+    if (ki == GateKind::Not) {
+      ConeEdit e;
+      e.root = root;
+      e.out = ctx.gate(inner).in[0];
+      if (ctx.internal_to(inner, root))
+        e.cone = {inner, root};
+      else
+        e.cone = {root};
+      return e;
+    }
+    if (ki == GateKind::Buf && ctx.internal_to(inner, root)) {
+      ConeEdit e;
+      e.cone = {inner, root};
+      e.root = root;
+      e.gates = {cg1(GateKind::Not, ctx.gate(inner).in[0])};
+      e.out = kConeLocal | 0;
+      return e;
+    }
+    return std::nullopt;
+  }
+};
+
+/// Pushes a Not into its single-reader driver: Not(And2) -> Nand2,
+/// Not(Nand2) -> And2, Not(Xor2) -> Xnor2, Not(AndNot2(a,b)) ->
+/// OrNot2(b,a), and the duals.
+class PushNot final : public RewriteRule {
+ public:
+  std::string_view name() const override { return "push-not"; }
+  std::optional<ConeEdit> match(const PatternContext& ctx,
+                                NetId root) const override {
+    if (ctx.kind(root) != GateKind::Not) return std::nullopt;
+    const NetId inner = ctx.gate(root).in[0];
+    if (!ctx.internal_to(inner, root)) return std::nullopt;
+    const Gate& gi = ctx.gate(inner);
+    const NetId a = gi.in[0], b = gi.in[1];
+    ConeGate repl;
+    switch (ctx.kind(inner)) {
+      case GateKind::And2: repl = cg2(GateKind::Nand2, a, b); break;
+      case GateKind::Or2: repl = cg2(GateKind::Nor2, a, b); break;
+      case GateKind::Nand2: repl = cg2(GateKind::And2, a, b); break;
+      case GateKind::Nor2: repl = cg2(GateKind::Or2, a, b); break;
+      case GateKind::Xor2: repl = cg2(GateKind::Xnor2, a, b); break;
+      case GateKind::Xnor2: repl = cg2(GateKind::Xor2, a, b); break;
+      // !(a & !b) = !a | b ; !(a | !b) = !a & b
+      case GateKind::AndNot2: repl = cg2(GateKind::OrNot2, b, a); break;
+      case GateKind::OrNot2: repl = cg2(GateKind::AndNot2, b, a); break;
+      default: return std::nullopt;
+    }
+    ConeEdit e;
+    e.cone = {inner, root};
+    e.root = root;
+    e.gates = {repl};
+    e.out = kConeLocal | 0;
+    return e;
+  }
+};
+
+/// Absorbs single-reader Not fan-ins into the complemented two-input
+/// kinds: And2(!a,!b) -> Nor2(a,b), And2(!a,y) -> AndNot2(y,a),
+/// AndNot2(!a,y) -> Nor2(a,y), Xor2(!a,y) -> Xnor2(a,y), and duals.
+class AbsorbNot final : public RewriteRule {
+ public:
+  std::string_view name() const override { return "absorb-not"; }
+  std::optional<ConeEdit> match(const PatternContext& ctx,
+                                NetId root) const override {
+    const GateKind k = ctx.kind(root);
+    switch (k) {
+      case GateKind::And2: case GateKind::Or2: case GateKind::Nand2:
+      case GateKind::Nor2: case GateKind::Xor2: case GateKind::Xnor2:
+      case GateKind::AndNot2: case GateKind::OrNot2: break;
+      default: return std::nullopt;
+    }
+    const Gate& g = ctx.gate(root);
+    const NetId x = g.in[0], y = g.in[1];
+    if (x == y) return std::nullopt;
+    const bool n0 =
+        ctx.kind(x) == GateKind::Not && ctx.internal_to(x, root);
+    const bool n1 =
+        ctx.kind(y) == GateKind::Not && ctx.internal_to(y, root);
+    if (!n0 && !n1) return std::nullopt;
+    const NetId a = n0 ? ctx.gate(x).in[0] : x;
+    const NetId b = n1 ? ctx.gate(y).in[0] : y;
+    ConeGate repl;
+    if (n0 && n1) {
+      switch (k) {
+        case GateKind::And2: repl = cg2(GateKind::Nor2, a, b); break;
+        case GateKind::Or2: repl = cg2(GateKind::Nand2, a, b); break;
+        case GateKind::Nand2: repl = cg2(GateKind::Or2, a, b); break;
+        case GateKind::Nor2: repl = cg2(GateKind::And2, a, b); break;
+        case GateKind::Xor2: repl = cg2(GateKind::Xor2, a, b); break;
+        case GateKind::Xnor2: repl = cg2(GateKind::Xnor2, a, b); break;
+        // !a & !!b = b & !a ; !a | !!b = b | !a
+        case GateKind::AndNot2: repl = cg2(GateKind::AndNot2, b, a); break;
+        case GateKind::OrNot2: repl = cg2(GateKind::OrNot2, b, a); break;
+        default: return std::nullopt;
+      }
+    } else if (n0) {
+      switch (k) {
+        case GateKind::And2: repl = cg2(GateKind::AndNot2, b, a); break;
+        case GateKind::Or2: repl = cg2(GateKind::OrNot2, b, a); break;
+        // !(!a & y) = a | !y ; !(!a | y) = a & !y
+        case GateKind::Nand2: repl = cg2(GateKind::OrNot2, a, b); break;
+        case GateKind::Nor2: repl = cg2(GateKind::AndNot2, a, b); break;
+        case GateKind::Xor2: repl = cg2(GateKind::Xnor2, a, b); break;
+        case GateKind::Xnor2: repl = cg2(GateKind::Xor2, a, b); break;
+        // !a & !y ; !a | !y
+        case GateKind::AndNot2: repl = cg2(GateKind::Nor2, a, b); break;
+        case GateKind::OrNot2: repl = cg2(GateKind::Nand2, a, b); break;
+        default: return std::nullopt;
+      }
+    } else {
+      switch (k) {
+        case GateKind::And2: repl = cg2(GateKind::AndNot2, a, b); break;
+        case GateKind::Or2: repl = cg2(GateKind::OrNot2, a, b); break;
+        // !(x & !b) = !x | b ; !(x | !b) = !x & b
+        case GateKind::Nand2: repl = cg2(GateKind::OrNot2, b, a); break;
+        case GateKind::Nor2: repl = cg2(GateKind::AndNot2, b, a); break;
+        case GateKind::Xor2: repl = cg2(GateKind::Xnor2, a, b); break;
+        case GateKind::Xnor2: repl = cg2(GateKind::Xor2, a, b); break;
+        // x & !!b = x & b ; x | !!b = x | b
+        case GateKind::AndNot2: repl = cg2(GateKind::And2, a, b); break;
+        case GateKind::OrNot2: repl = cg2(GateKind::Or2, a, b); break;
+        default: return std::nullopt;
+      }
+    }
+    ConeEdit e;
+    e.cone.push_back(root);
+    if (n0) e.cone.push_back(x);
+    if (n1) e.cone.push_back(y);
+    e.root = root;
+    e.gates = {repl};
+    e.out = kConeLocal | 0;
+    return e;
+  }
+};
+
+}  // namespace
+
+const std::vector<const RewriteRule*>& default_rewrite_rules() {
+  static const FuseAo22 ao22;
+  static const FuseAo21 ao21;
+  static const FuseOa21 oa21;
+  static const CollapseChain chain;
+  static const PushNot push;
+  static const AbsorbNot absorb;
+  static const std::vector<const RewriteRule*> rules = {
+      &ao22, &ao21, &oa21, &chain, &push, &absorb};
+  return rules;
+}
+
+const std::vector<const RewriteRule*>& fusion_rewrite_rules() {
+  static const FuseAo22 ao22;
+  static const FuseAo21 ao21;
+  static const FuseOa21 oa21;
+  static const std::vector<const RewriteRule*> rules = {&ao22, &ao21, &oa21};
+  return rules;
+}
+
+std::vector<CollectedMatch> collect_matches(
+    const PatternContext& ctx, const std::vector<const RewriteRule*>& rules) {
+  std::vector<CollectedMatch> out;
+  std::vector<std::uint8_t> claimed(ctx.size(), 0);  // any cone member
+  std::vector<std::uint8_t> removed(ctx.size(), 0);  // non-root cone member
+  for (NetId n = 0; n < ctx.size(); ++n) {
+    if (claimed[n]) continue;
+    for (const RewriteRule* rule : rules) {
+      std::optional<ConeEdit> e = rule->match(ctx, n);
+      if (!e) continue;
+      bool ok = true;
+      for (const NetId c : e->cone)
+        if (claimed[c]) ok = false;
+      auto live_ref = [&](NetId r) {
+        if (!(r & kConeLocal) && removed[r]) ok = false;
+      };
+      for (const ConeGate& cg : e->gates) {
+        const int nin = fanin_count(cg.kind);
+        for (int p = 0; p < nin; ++p)
+          live_ref(cg.in[static_cast<std::size_t>(p)]);
+      }
+      live_ref(e->out);
+      if (!ok) continue;  // conflicting match; another rule may still fit
+      const double saved = edit_area_saved(ctx, *e);
+      if (saved <= 0.0) continue;
+      for (const NetId c : e->cone) {
+        claimed[c] = 1;
+        if (c != e->root) removed[c] = 1;
+      }
+      out.push_back(CollectedMatch{rule, std::move(*e), saved});
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace mfm::netlist

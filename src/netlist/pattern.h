@@ -1,0 +1,104 @@
+// Declarative structural pattern matching over CompiledCircuit.
+//
+// A RewriteRule is a yosys-pmgen-style matcher: given a candidate root
+// net it selects by GateKind, walks fan-in/fan-out through the CSR
+// spans, binds state (nets, polarity, fan-out-count constraints such as
+// "this internal net has no reader besides the root and is not exposed
+// by a port"), and either rejects or accepts by returning the ConeEdit
+// that Circuit::replace_cone() needs: the matched cone, the replacement
+// gates, and the output rewiring.  collect_matches() runs a rule list
+// over every net and resolves overlaps greedily, producing one
+// conflict-free edit batch per pass iteration (netlist/rewrite.h).
+//
+// Rules are pure structure: they never claim semantic equivalence is
+// checked here.  The pass re-proves every rewritten circuit against the
+// original with check_equivalence / check_equivalence_cosim.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "netlist/compiled.h"
+#include "netlist/techlib.h"
+
+namespace mfm::netlist {
+
+/// Read-only match state shared by every rule invocation on one
+/// circuit: the compiled structure plus which nets are exposed by an
+/// output port (a matched internal net must not be).
+class PatternContext {
+ public:
+  PatternContext(const CompiledCircuit& cc, const TechLib& lib);
+
+  const CompiledCircuit& compiled() const { return cc_; }
+  const Circuit& circuit() const { return cc_.circuit(); }
+  std::size_t size() const { return cc_.size(); }
+
+  GateKind kind(NetId n) const { return cc_.kind(n); }
+  const Gate& gate(NetId n) const { return cc_.circuit().gate(n); }
+  int fanout_count(NetId n) const { return cc_.fanout_count(n); }
+
+  /// True when some output port exposes net @p n.
+  bool is_port_net(NetId n) const { return port_net_[n] != 0; }
+
+  /// True when @p reader is the ONLY reader of @p n (a gate reading n
+  /// on two pins still counts) and no output port exposes n -- i.e. a
+  /// rule may swallow n into a compound cell without changing any other
+  /// observer.
+  bool internal_to(NetId n, NetId reader) const;
+
+  double area(GateKind k) const { return lib_.area_nand2(k); }
+
+ private:
+  const CompiledCircuit& cc_;
+  const TechLib& lib_;
+  std::vector<std::uint8_t> port_net_;
+};
+
+/// One declarative match-and-rewrite rule.  match() either rejects
+/// (nullopt) or returns the complete ConeEdit for @p root; it must only
+/// accept edits whose replacement is logically equivalent to the root
+/// and whose TechLib area is strictly smaller than the cone's.
+class RewriteRule {
+ public:
+  virtual ~RewriteRule() = default;
+  virtual std::string_view name() const = 0;
+  virtual std::optional<ConeEdit> match(const PatternContext& ctx,
+                                        NetId root) const = 0;
+};
+
+/// TechLib area removed by @p edit: cone cell area minus replacement
+/// cell area (NAND2 equivalents).
+double edit_area_saved(const PatternContext& ctx, const ConeEdit& edit);
+
+/// One accepted match of one rule, ready for Circuit::replace_cone().
+struct CollectedMatch {
+  const RewriteRule* rule = nullptr;
+  ConeEdit edit;
+  double area_saved_nand2 = 0.0;
+};
+
+/// Runs @p rules over every net of the circuit (ascending net order;
+/// first rule to match a root wins) and greedily resolves overlaps:
+/// a match is dropped when any of its cone nets is already claimed by
+/// an earlier match, or when its replacement references a net an
+/// earlier match removes.  Matches with no strictly positive area
+/// saving are rejected, so applying the batch monotonically shrinks
+/// the circuit -- the fixpoint argument of the rewrite pass.
+std::vector<CollectedMatch> collect_matches(
+    const PatternContext& ctx, const std::vector<const RewriteRule*>& rules);
+
+/// The full rule set of the optimizer, in priority order: AO22/AO21/
+/// OA21 fusion first (largest savings), then inverter-chain collapse,
+/// NOT-pushing into complemented kinds, and NOT-absorption into
+/// AndNot2/OrNot2/Nand2/Nor2.
+const std::vector<const RewriteRule*>& default_rewrite_rules();
+
+/// Just the AO/OA fusion subset -- what the advisory lint rule
+/// (LintRule::kFusion) reports, so analysis and transform share one
+/// matcher and can never disagree.
+const std::vector<const RewriteRule*>& fusion_rewrite_rules();
+
+}  // namespace mfm::netlist

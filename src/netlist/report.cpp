@@ -60,6 +60,52 @@ void json_escape_into(std::string& out, std::string_view s) {
   }
 }
 
+ReportSink::ReportSink(std::string_view tool, bool json,
+                       const std::string& path)
+    : tool_(tool), json_(json) {
+  if (path.empty() || path == "-") {
+    out_ = &std::cout;
+  } else {
+    file_.open(path, std::ios::out | std::ios::trunc);
+    if (!file_) {
+      std::cerr << tool_ << ": cannot open '" << path << "' for writing\n";
+      ok_ = false;
+      return;
+    }
+    out_ = &file_;
+  }
+  if (json_) *out_ << "{\"units\":[";
+}
+
+void ReportSink::unit(const std::string& rendered) {
+  if (!ok_ || finished_) return;
+  if (json_) {
+    *out_ << (first_ ? "" : ",\n  ") << rendered;
+    first_ = false;
+  } else {
+    *out_ << rendered << "\n";
+  }
+}
+
+bool ReportSink::finish(const std::string& json_summary,
+                        const std::string& text_summary) {
+  if (!ok_ || finished_) return ok_;
+  finished_ = true;
+  if (json_) {
+    *out_ << "]";
+    if (!json_summary.empty()) *out_ << "," << json_summary;
+    *out_ << "}\n";
+  } else if (!text_summary.empty()) {
+    *out_ << text_summary;
+  }
+  out_->flush();
+  if (!*out_) {
+    std::cerr << tool_ << ": write error on report output\n";
+    ok_ = false;
+  }
+  return ok_;
+}
+
 std::string format_kind_histogram(const Circuit& c) {
   const auto h = c.kind_histogram();
   std::ostringstream os;

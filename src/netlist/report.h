@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
+#include <iostream>
 #include <map>
 #include <string>
 #include <string_view>
@@ -36,5 +38,41 @@ std::string format_kind_histogram(const Circuit& c);
 /// Appends @p s to @p out with JSON string escaping (quotes, backslash,
 /// \n, \t, and \uXXXX for the remaining control characters).
 void json_escape_into(std::string& out, std::string_view s);
+
+/// Shared output sink for the CLI report tools (mfm_lint, mfm_faults,
+/// mfm_sweep, mfm_opt).  Owns the --out=FILE destination, the
+/// {"units":[...]} JSON framing with comma separation, and the trailing
+/// summary fields, so every tool emits the same envelope and handles an
+/// unwritable output file the same way.
+class ReportSink {
+ public:
+  /// Opens @p path for writing; "" or "-" selects stdout.  On open
+  /// failure prints "<tool>: cannot open '<path>' for writing" to
+  /// stderr and leaves the sink !ok() -- callers exit with status 2.
+  ReportSink(std::string_view tool, bool json, const std::string& path);
+
+  bool ok() const { return ok_; }
+
+  /// Emits one pre-rendered per-unit record: a JSON object (the sink
+  /// inserts the comma between array elements) or a text block (the
+  /// sink appends the separating blank line).
+  void unit(const std::string& rendered);
+
+  /// Closes the envelope.  @p json_summary is a raw fragment of extra
+  /// top-level fields (e.g. "\"failures\":3") appended after the units
+  /// array; @p text_summary is written verbatim in text mode.  Returns
+  /// false (after a stderr diagnostic) if any write failed.
+  bool finish(const std::string& json_summary = "",
+              const std::string& text_summary = "");
+
+ private:
+  std::string tool_;
+  std::ofstream file_;
+  std::ostream* out_ = nullptr;
+  bool json_ = false;
+  bool ok_ = true;
+  bool first_ = true;
+  bool finished_ = false;
+};
 
 }  // namespace mfm::netlist

@@ -412,71 +412,6 @@ ConfirmOutcome confirm_sat(const Circuit& c, const PinMap& pinned, NetId a,
   return ConfirmOutcome::kUnresolved;
 }
 
-// ---- sequential re-verification --------------------------------------------
-
-/// Randomized multi-cycle cosimulation of the original vs the merged
-/// sequential circuit: 64 independent lane sequences per round, pinned
-/// input bits held, every output port compared after every eval().
-bool cosim_verify(const Circuit& orig, const Circuit& merged,
-                  const std::vector<TernaryPin>& pins, int vector_budget,
-                  std::uint64_t seed, std::uint64_t* vectors_run,
-                  std::string* counterexample) {
-  const CompiledCircuit co(orig), cm(merged);
-  PackSim so(co), sm(cm);
-  // Pin masks per input port, from the original circuit's net ids.
-  std::unordered_map<std::string, std::pair<u128, u128>> pin_masks;
-  for (const TernaryPin& pin : pins)
-    for (const auto& [name, bus] : orig.in_ports())
-      for (std::size_t i = 0; i < bus.size(); ++i)
-        if (bus[i] == pin.net) {
-          auto& [mask, val] = pin_masks[name];
-          const u128 bit = static_cast<u128>(1) << i;
-          mask |= bit;
-          val = pin.value ? (val | bit) : (val & ~bit);
-        }
-
-  constexpr int kCycles = 8;
-  const int rounds =
-      std::max(1, vector_budget / (PackSim::kLanes * kCycles));
-  std::mt19937_64 rng(seed);
-  for (int round = 0; round < rounds; ++round) {
-    so.reset();
-    sm.reset();
-    for (int cycle = 0; cycle < kCycles; ++cycle) {
-      for (const auto& [name, bus] : orig.in_ports()) {
-        const int w = static_cast<int>(bus.size());
-        const u128 wmask = (w >= 128) ? ~static_cast<u128>(0)
-                                      : ((static_cast<u128>(1) << w) - 1);
-        for (int lane = 0; lane < PackSim::kLanes; ++lane) {
-          u128 v = (static_cast<u128>(rng()) << 64 | rng()) & wmask;
-          const auto it = pin_masks.find(name);
-          if (it != pin_masks.end())
-            v = (v & ~it->second.first) | it->second.second;
-          so.set_bus(bus, lane, v);
-          sm.set_bus(merged.in_port(name), lane, v);
-        }
-      }
-      so.eval();
-      sm.eval();
-      *vectors_run += PackSim::kLanes;
-      for (const auto& [name, bus] : orig.out_ports()) {
-        const Bus& mb = merged.out_port(name);
-        for (std::size_t i = 0; i < bus.size(); ++i)
-          if (so.word(bus[i]) != sm.word(mb[i])) {
-            std::ostringstream os;
-            os << "sequential cosim: output '" << name << "' bit " << i
-               << " differs in round " << round << " cycle " << cycle;
-            *counterexample = os.str();
-            return false;
-          }
-      }
-      so.clock();
-      sm.clock();
-    }
-  }
-  return true;
-}
-
 // ---- union-find ------------------------------------------------------------
 
 NetId uf_find(std::vector<NetId>& parent, NetId n) {
@@ -700,10 +635,12 @@ SweepResult sweep_circuit(const Circuit& c, const SweepOptions& opt,
       rep.verify_vectors = eq.vectors;
       if (!eq.equivalent) rep.counterexample = eq.counterexample;
     } else {
-      rep.verified =
-          cosim_verify(c, *result.circuit, opt.pins, opt.verify_vectors,
-                       opt.seed ^ 0x5EC, &rep.verify_vectors,
-                       &rep.counterexample);
+      const EquivResult eq =
+          check_equivalence_cosim(c, *result.circuit, opt.pins,
+                                  opt.verify_vectors, opt.seed ^ 0x5EC);
+      rep.verified = eq.equivalent;
+      rep.verify_vectors = eq.vectors;
+      if (!eq.equivalent) rep.counterexample = eq.counterexample;
     }
   }
   return result;

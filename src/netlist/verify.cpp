@@ -11,6 +11,7 @@ CircuitStats verify_circuit(const Circuit& c,
   opt.check_duplicates = false;
   opt.check_unobservable = false;
   opt.check_fanout = false;
+  opt.check_fusion = false;
   opt.max_findings_per_rule = -1;  // callers expect one message per violation
   const LintReport rep = lint_circuit(c, opt);
   if (findings)

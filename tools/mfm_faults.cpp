@@ -2,7 +2,7 @@
 // shipped generator (netlist/fault.h).
 //
 //   mfm_faults [--json] [--vectors=N] [--seed=S] [--only=SUBSTR]
-//              [--fail-under=PCT] [--transient]
+//              [--fail-under=PCT] [--transient] [--out=FILE]
 //
 // Instantiates the 8x8 radix-16 teaching multiplier (the CI coverage
 // gate target), the radix-4 and radix-16 64-bit multipliers, the
@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,7 @@
 #include "netlist/compiled.h"
 #include "netlist/fault.h"
 #include "netlist/lint.h"
+#include "netlist/report.h"
 
 namespace {
 
@@ -53,13 +55,14 @@ struct CliOptions {
   int vectors = 64;
   std::uint64_t seed = 0xFA;
   std::string only;
+  std::string out;
   double fail_under = -1.0;  // <0: no gate
 };
 
 struct Runner {
   CliOptions cli;
+  mfm::netlist::ReportSink* sink = nullptr;
   int failures = 0;
-  bool first_json = true;
   // name -> coverage, for the summary table.
   std::vector<std::pair<std::string, double>> coverage;
 
@@ -84,13 +87,8 @@ struct Runner {
       std::fprintf(stderr, "mfm_faults: %s coverage %.2f%% below gate %.2f%%\n",
                    name.c_str(), rep.coverage_pct(), cli.fail_under);
     }
-    if (cli.json) {
-      std::printf("%s%s", first_json ? "" : ",\n  ",
-                  fault_report_json(rep, name).c_str());
-      first_json = false;
-    } else {
-      std::printf("%s\n", fault_report_text(rep, name).c_str());
-    }
+    sink->unit(cli.json ? fault_report_json(rep, name)
+                        : fault_report_text(rep, name));
   }
 };
 
@@ -155,6 +153,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg.rfind("--only=", 0) == 0) {
       r.cli.only = arg.substr(7);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      r.cli.out = arg.substr(6);
     } else if (arg.rfind("--fail-under=", 0) == 0) {
       if (!parse_double(arg.c_str() + 13, r.cli.fail_under) ||
           r.cli.fail_under < 0.0 || r.cli.fail_under > 100.0) {
@@ -167,12 +167,15 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: mfm_faults [--json] [--vectors=N] [--seed=S] "
-                   "[--only=SUBSTR] [--fail-under=PCT] [--transient]\n");
+                   "[--only=SUBSTR] [--fail-under=PCT] [--transient] "
+                   "[--out=FILE]\n");
       return 2;
     }
   }
 
-  if (r.cli.json) std::printf("{\"units\":[");
+  mfm::netlist::ReportSink sink("mfm_faults", r.cli.json, r.cli.out);
+  if (!sink.ok()) return 2;
+  r.sink = &sink;
 
   {
     mfm::mult::MultiplierOptions o;
@@ -212,14 +215,19 @@ int main(int argc, char** argv) {
     r.run("reduce64to32", *unit.circuit, 0, {});
   }
 
-  if (r.cli.json) {
-    std::printf("],\"failures\":%d}\n", r.failures);
-  } else if (!r.coverage.empty()) {
-    std::printf("stuck-at coverage by unit (%d vectors/fault):\n",
-                r.cli.vectors);
-    for (const auto& [name, pct] : r.coverage)
-      std::printf("  %-18s %6.2f%%\n", name.c_str(), pct);
+  std::ostringstream summary;
+  if (!r.coverage.empty()) {
+    summary << "stuck-at coverage by unit (" << r.cli.vectors
+            << " vectors/fault):\n";
+    for (const auto& [name, pct] : r.coverage) {
+      char line[64];
+      std::snprintf(line, sizeof line, "  %-18s %6.2f%%\n", name.c_str(), pct);
+      summary << line;
+    }
   }
+  if (!sink.finish("\"failures\":" + std::to_string(r.failures),
+                   summary.str()))
+    return 2;
   if (r.failures > 0) {
     std::fprintf(stderr, "mfm_faults: %d unit(s) below the coverage gate\n",
                  r.failures);

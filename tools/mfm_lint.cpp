@@ -1,7 +1,7 @@
 // mfm_lint: run the netlist static analyzer over every shipped generator.
 //
 //   mfm_lint [--json] [--fail-on=error|warning] [--only=SUBSTR]
-//            [--fanout-threshold=N]
+//            [--fanout-threshold=N] [--out=FILE]
 //
 // Instantiates the radix-4 and radix-16 multipliers, the multi-format
 // unit (baseline and with the Sec. IV reduction integrated) under each
@@ -16,6 +16,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "mult/fp_multiplier.h"
 #include "mult/multiplier.h"
 #include "netlist/lint.h"
+#include "netlist/report.h"
 
 namespace {
 
@@ -40,13 +42,14 @@ struct CliOptions {
   bool json = false;
   LintSeverity fail_on = LintSeverity::kError;
   std::string only;
+  std::string out;
   int fanout_threshold = 0;
 };
 
 struct Runner {
   CliOptions cli;
+  mfm::netlist::ReportSink* sink = nullptr;
   int failures = 0;
-  bool first_json = true;
   // name -> active combinational gates, for the Table V summary.
   std::vector<std::pair<std::string, std::size_t>> active;
 
@@ -57,13 +60,8 @@ struct Runner {
     if (!rep.clean(cli.fail_on)) ++failures;
     if (rep.constant_ran && !opt.pins.empty())
       active.emplace_back(name, rep.active_gates);
-    if (cli.json) {
-      std::printf("%s%s", first_json ? "" : ",\n  ",
-                  lint_report_json(rep, name).c_str());
-      first_json = false;
-    } else {
-      std::printf("%s\n", lint_report_text(rep, name).c_str());
-    }
+    sink->unit(cli.json ? lint_report_json(rep, name)
+                        : lint_report_text(rep, name));
   }
 };
 
@@ -134,6 +132,8 @@ int main(int argc, char** argv) {
       r.cli.fail_on = LintSeverity::kWarning;
     } else if (arg.rfind("--only=", 0) == 0) {
       r.cli.only = arg.substr(7);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      r.cli.out = arg.substr(6);
     } else if (arg.rfind("--fanout-threshold=", 0) == 0) {
       long v = 0;
       if (!mfm::cli::parse_long(arg.c_str() + 19, v) || v < 0 ||
@@ -148,12 +148,14 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: mfm_lint [--json] [--fail-on=error|warning] "
-                   "[--only=SUBSTR] [--fanout-threshold=N]\n");
+                   "[--only=SUBSTR] [--fanout-threshold=N] [--out=FILE]\n");
       return 2;
     }
   }
 
-  if (r.cli.json) std::printf("{\"units\":[");
+  mfm::netlist::ReportSink sink("mfm_lint", r.cli.json, r.cli.out);
+  if (!sink.ok()) return 2;
+  r.sink = &sink;
 
   {
     const auto unit = mfm::mult::build_radix4_64();
@@ -186,14 +188,19 @@ int main(int argc, char** argv) {
     r.run("reduce64to32", *unit.circuit, {});
   }
 
-  if (r.cli.json) {
-    std::printf("],\"failures\":%d}\n", r.failures);
-  } else if (!r.active.empty()) {
+  std::ostringstream summary;
+  if (!r.active.empty()) {
     // Table V, structurally: gates that can toggle under each format pin.
-    std::printf("active combinational gates by format:\n");
-    for (const auto& [name, n] : r.active)
-      std::printf("  %-18s %zu\n", name.c_str(), n);
+    summary << "active combinational gates by format:\n";
+    for (const auto& [name, n] : r.active) {
+      char line[64];
+      std::snprintf(line, sizeof line, "  %-18s %zu\n", name.c_str(), n);
+      summary << line;
+    }
   }
+  if (!sink.finish("\"failures\":" + std::to_string(r.failures),
+                   summary.str()))
+    return 2;
   if (r.failures > 0) {
     std::fprintf(stderr, "mfm_lint: %d unit report(s) with findings at %s+\n",
                  r.failures,

@@ -1,0 +1,307 @@
+// mfm_opt: declarative pattern-rewrite optimization over every shipped
+// generator (netlist/rewrite.h) -- the lint stack turned into a small
+// synthesis flow.
+//
+//   mfm_opt [--json] [--only=SUBSTR] [--seed=S] [--verify-vectors=N]
+//           [--rounds=N] [--no-sweep] [--min-area-saved=X] [--out=FILE]
+//
+// Instantiates the 8x8 radix-16 teaching multiplier, the radix-4 and
+// radix-16 64-bit multipliers, the multi-format unit (baseline and with
+// the Sec. IV reduction, combinational build) -- unpinned and under
+// each format's control pins, including the fp32x1 idle-upper-lane mode
+// -- plus the single-format FP multipliers, adder, and reduction unit.
+// Each unit runs the full pipeline: SAT sweep (mode-specialized under
+// the pins), AO/OA fusion + inverter rewriting to fixpoint
+// (default_rewrite_rules), a second sweep over the rewritten netlist,
+// and a final end-to-end equivalence proof of the result against the
+// ORIGINAL circuit under the same pins (check_equivalence, or
+// multi-cycle random cosimulation for sequential units).  The report
+// carries the end-to-end gate/area delta with TechLib::lp45() pricing
+// plus the per-rule match counts from the rewrite stage.
+//
+// Exit status is nonzero when any end-to-end proof fails (a rewrite or
+// sweep bug: the optimized netlist MUST be equivalent) or when the
+// total area saved across all (filtered) units falls below
+// --min-area-saved NAND2 equivalents, so CI can gate on both.
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cli_util.h"
+#include "mf/fp_reduce.h"
+#include "mf/mf_unit.h"
+#include "mult/fp_adder.h"
+#include "mult/fp_multiplier.h"
+#include "mult/multiplier.h"
+#include "netlist/equiv.h"
+#include "netlist/lint.h"
+#include "netlist/report.h"
+#include "netlist/rewrite.h"
+#include "netlist/sweep.h"
+
+namespace {
+
+using mfm::netlist::Circuit;
+using mfm::netlist::EquivResult;
+using mfm::netlist::RewriteOptions;
+using mfm::netlist::RewriteReport;
+using mfm::netlist::RewriteResult;
+using mfm::netlist::SweepOptions;
+using mfm::netlist::SweepResult;
+using mfm::netlist::TechLib;
+using mfm::netlist::TernaryPin;
+
+struct CliOptions {
+  bool json = false;
+  bool no_sweep = false;
+  std::string only;
+  std::string out;
+  std::uint64_t seed = 0x0B7;
+  int verify_vectors = 4000;
+  int rounds = 8;  // signature rounds of the sweep stages
+  double min_area_saved = 0.0;
+};
+
+std::size_t gate_count(const Circuit& c) {
+  return c.size() - c.primary_inputs().size() - 2;
+}
+
+struct Runner {
+  CliOptions cli;
+  mfm::netlist::ReportSink* sink = nullptr;
+  int failures = 0;
+  double total_area_saved = 0.0;
+
+  void run(const std::string& name, const Circuit& c,
+           std::vector<TernaryPin> pins) {
+    if (!cli.only.empty() && name.find(cli.only) == std::string::npos) return;
+    const TechLib& lib = TechLib::lp45();
+
+    // Stage verification is off: the pipeline ends with one end-to-end
+    // proof against the original, which is what CI gates on.
+    const Circuit* cur = &c;
+    std::unique_ptr<Circuit> stage;
+    if (!cli.no_sweep) {
+      SweepOptions so;
+      so.pins = pins;
+      so.signature_rounds = cli.rounds;
+      so.seed = cli.seed;
+      so.verify = false;
+      SweepResult sr = sweep_circuit(*cur, so, lib);
+      stage = std::move(sr.circuit);
+      cur = stage.get();
+    }
+
+    RewriteOptions ro;
+    ro.pins = pins;
+    ro.seed = cli.seed;
+    ro.verify = false;
+    RewriteResult rr = optimize_circuit(*cur, ro, lib);
+    stage = std::move(rr.circuit);
+    cur = stage.get();
+
+    if (!cli.no_sweep) {
+      // The rewrite can expose new merges (e.g. a fused cell duplicating
+      // an existing one); sweep again over the rewritten netlist.
+      SweepOptions so;
+      so.pins = pins;
+      so.signature_rounds = cli.rounds;
+      so.seed = cli.seed ^ 0x90;
+      so.verify = false;
+      SweepResult sr = sweep_circuit(*cur, so, lib);
+      stage = std::move(sr.circuit);
+      cur = stage.get();
+    }
+
+    const EquivResult eq =
+        c.flops().empty()
+            ? check_equivalence(c, *cur, pins, cli.verify_vectors,
+                                cli.seed ^ 0xE2E)
+            : check_equivalence_cosim(c, *cur, pins, cli.verify_vectors,
+                                      cli.seed ^ 0xE2E);
+    if (!eq.equivalent) {
+      ++failures;
+      std::fprintf(stderr,
+                   "mfm_opt: %s: optimized netlist FAILED the end-to-end "
+                   "equivalence proof: %s\n",
+                   name.c_str(), eq.counterexample.c_str());
+    }
+
+    // One report for the whole pipeline: end-to-end gate/area deltas,
+    // rule breakdown from the rewrite stage, end-to-end proof result.
+    RewriteReport rep = rr.report;
+    rep.gates_before = gate_count(c);
+    rep.area_before_nand2 = total_area_nand2(c, lib);
+    rep.gates_after = gate_count(*cur);
+    rep.area_after_nand2 = total_area_nand2(*cur, lib);
+    rep.verify_ran = true;
+    rep.verified = eq.equivalent;
+    rep.verify_vectors = eq.vectors;
+    rep.counterexample = eq.equivalent ? "" : eq.counterexample;
+    total_area_saved += rep.area_removed_nand2();
+
+    sink->unit(cli.json ? rewrite_report_json(rep, name)
+                        : rewrite_report_text(rep, name));
+  }
+};
+
+void opt_mf(Runner& r, const char* tag, bool with_reduction) {
+  // Combinational build, like mfm_sweep: the end-to-end proof uses
+  // check_equivalence, and the result transfers to the Fig. 5 pipeline
+  // (same logic with registers at the stage boundaries).
+  mfm::mf::MfOptions build;
+  build.pipeline = mfm::mf::MfPipeline::Combinational;
+  build.with_reduction = with_reduction;
+  const mfm::mf::MfUnit unit = mfm::mf::build_mf_unit(build);
+  const Circuit& c = *unit.circuit;
+  const std::string base = std::string("mf") + tag;
+
+  using mfm::mf::Format;
+  using mfm::netlist::pin_port;
+  using mfm::netlist::pin_port_bits;
+
+  r.run(base, c, {});  // mode-independent rewrites only
+  for (const Format f : {Format::Int64, Format::Fp64, Format::Fp32Dual}) {
+    std::vector<TernaryPin> pins;
+    pin_port(c, "frmt", mfm::mf::frmt_bits(f), pins);
+    const char* fname = f == Format::Int64  ? "int64"
+                        : f == Format::Fp64 ? "fp64"
+                                            : "fp32x2";
+    r.run(base + "/" + fname, c, std::move(pins));
+  }
+  {
+    std::vector<TernaryPin> pins;
+    pin_port(c, "frmt", mfm::mf::frmt_bits(Format::Fp32Dual), pins);
+    pin_port_bits(c, "a", 32, 32, 0, pins);
+    pin_port_bits(c, "b", 32, 32, 0, pins);
+    r.run(base + "/fp32x1", c, std::move(pins));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Runner r;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      r.cli.json = true;
+    } else if (arg == "--no-sweep") {
+      r.cli.no_sweep = true;
+    } else if (arg.rfind("--only=", 0) == 0) {
+      r.cli.only = arg.substr(7);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      r.cli.out = arg.substr(6);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      if (!mfm::cli::parse_u64(arg.c_str() + 7, r.cli.seed)) {
+        std::fprintf(stderr, "mfm_opt: bad --seed value '%s'\n",
+                     arg.c_str() + 7);
+        return 2;
+      }
+    } else if (arg.rfind("--verify-vectors=", 0) == 0) {
+      long v = 0;
+      if (!mfm::cli::parse_long(arg.c_str() + 17, v) || v < 2 ||
+          v > 1'000'000) {
+        std::fprintf(stderr,
+                     "mfm_opt: bad --verify-vectors value '%s' (need an "
+                     "integer >= 2)\n",
+                     arg.c_str() + 17);
+        return 2;
+      }
+      r.cli.verify_vectors = static_cast<int>(v);
+    } else if (arg.rfind("--rounds=", 0) == 0) {
+      long v = 0;
+      if (!mfm::cli::parse_long(arg.c_str() + 9, v) || v < 1 || v > 10'000) {
+        std::fprintf(stderr,
+                     "mfm_opt: bad --rounds value '%s' (need an integer in "
+                     "[1, 10000])\n",
+                     arg.c_str() + 9);
+        return 2;
+      }
+      r.cli.rounds = static_cast<int>(v);
+    } else if (arg.rfind("--min-area-saved=", 0) == 0) {
+      if (!mfm::cli::parse_double(arg.c_str() + 17, r.cli.min_area_saved) ||
+          r.cli.min_area_saved < 0.0) {
+        std::fprintf(stderr,
+                     "mfm_opt: bad --min-area-saved value '%s' (need a "
+                     "number >= 0)\n",
+                     arg.c_str() + 17);
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: mfm_opt [--json] [--only=SUBSTR] [--seed=S] "
+                   "[--verify-vectors=N] [--rounds=N] [--no-sweep] "
+                   "[--min-area-saved=X] [--out=FILE]\n");
+      return 2;
+    }
+  }
+
+  mfm::netlist::ReportSink sink("mfm_opt", r.cli.json, r.cli.out);
+  if (!sink.ok()) return 2;
+  r.sink = &sink;
+
+  {
+    mfm::mult::MultiplierOptions o;
+    o.n = 8;
+    o.g = 4;
+    const auto unit = mfm::mult::build_multiplier(o);
+    r.run("mult8", *unit.circuit, {});
+  }
+  {
+    const auto unit = mfm::mult::build_radix4_64();
+    r.run("radix4-64", *unit.circuit, {});
+  }
+  {
+    const auto unit = mfm::mult::build_radix16_64();
+    r.run("radix16-64", *unit.circuit, {});
+  }
+  opt_mf(r, "", /*with_reduction=*/false);
+  opt_mf(r, "-reduce", /*with_reduction=*/true);
+  {
+    mfm::mult::FpMultiplierOptions opt;
+    opt.format = mfm::fp::kBinary32;
+    const auto unit = mfm::mult::build_fp_multiplier(opt);
+    r.run("fpmul-b32", *unit.circuit, {});
+  }
+  {
+    mfm::mult::FpMultiplierOptions opt;
+    opt.format = mfm::fp::kBinary64;
+    const auto unit = mfm::mult::build_fp_multiplier(opt);
+    r.run("fpmul-b64", *unit.circuit, {});
+  }
+  {
+    const auto unit = mfm::mult::build_fp_adder({});
+    r.run("fpadd-b32", *unit.circuit, {});
+  }
+  {
+    const auto unit = mfm::mf::build_reduce_unit();
+    r.run("reduce64to32", *unit.circuit, {});
+  }
+
+  char area[64];
+  std::snprintf(area, sizeof area, "%.3f", r.total_area_saved);
+  if (!sink.finish(std::string("\"total_area_saved_nand2\":") + area +
+                       ",\"failures\":" + std::to_string(r.failures),
+                   std::string("total area saved: ") + area + " NAND2\n"))
+    return 2;
+  if (r.failures > 0) {
+    std::fprintf(stderr,
+                 "mfm_opt: %d unit(s) failed the end-to-end equivalence "
+                 "proof\n",
+                 r.failures);
+    return 1;
+  }
+  if (r.total_area_saved < r.cli.min_area_saved) {
+    std::fprintf(stderr,
+                 "mfm_opt: total area saved %.3f NAND2 below "
+                 "--min-area-saved=%.3f\n",
+                 r.total_area_saved, r.cli.min_area_saved);
+    return 1;
+  }
+  return 0;
+}

@@ -2,7 +2,7 @@
 // (netlist/sweep.h).
 //
 //   mfm_sweep [--json] [--only=SUBSTR] [--rounds=N] [--seed=S]
-//             [--verify-vectors=N] [--min-total-removed=N]
+//             [--verify-vectors=N] [--min-total-removed=N] [--out=FILE]
 //
 // Instantiates the 8x8 radix-16 teaching multiplier, the radix-4 and
 // radix-16 64-bit multipliers, the multi-format unit (baseline and with
@@ -31,6 +31,7 @@
 #include "mult/fp_multiplier.h"
 #include "mult/multiplier.h"
 #include "netlist/lint.h"
+#include "netlist/report.h"
 #include "netlist/sweep.h"
 
 namespace {
@@ -47,12 +48,13 @@ struct CliOptions {
   std::uint64_t seed = 0x5EE9;
   int verify_vectors = 4000;
   long min_total_removed = 0;
+  std::string out;
 };
 
 struct Runner {
   CliOptions cli;
+  mfm::netlist::ReportSink* sink = nullptr;
   int failures = 0;
-  bool first_json = true;
   std::size_t total_removed = 0;
 
   void run(const std::string& name, const Circuit& c,
@@ -72,13 +74,8 @@ struct Runner {
                    name.c_str(), res.report.counterexample.c_str());
     }
     total_removed += res.report.gates_removed();
-    if (cli.json) {
-      std::printf("%s%s", first_json ? "" : ",\n  ",
-                  sweep_report_json(res.report, name).c_str());
-      first_json = false;
-    } else {
-      std::printf("%s\n", sweep_report_text(res.report, name).c_str());
-    }
+    sink->unit(cli.json ? sweep_report_json(res.report, name)
+                        : sweep_report_text(res.report, name));
   }
 };
 
@@ -162,16 +159,20 @@ int main(int argc, char** argv) {
                      arg.c_str() + 20);
         return 2;
       }
+    } else if (arg.rfind("--out=", 0) == 0) {
+      r.cli.out = arg.substr(6);
     } else {
       std::fprintf(stderr,
                    "usage: mfm_sweep [--json] [--only=SUBSTR] [--rounds=N] "
                    "[--seed=S] [--verify-vectors=N] "
-                   "[--min-total-removed=N]\n");
+                   "[--min-total-removed=N] [--out=FILE]\n");
       return 2;
     }
   }
 
-  if (r.cli.json) std::printf("{\"units\":[");
+  mfm::netlist::ReportSink sink("mfm_sweep", r.cli.json, r.cli.out);
+  if (!sink.ok()) return 2;
+  r.sink = &sink;
 
   {
     mfm::mult::MultiplierOptions o;
@@ -211,12 +212,12 @@ int main(int argc, char** argv) {
     r.run("reduce64to32", *unit.circuit, {});
   }
 
-  if (r.cli.json) {
-    std::printf("],\"total_gates_removed\":%zu,\"failures\":%d}\n",
-                r.total_removed, r.failures);
-  } else {
-    std::printf("total gates removed: %zu\n", r.total_removed);
-  }
+  if (!sink.finish("\"total_gates_removed\":" +
+                       std::to_string(r.total_removed) +
+                       ",\"failures\":" + std::to_string(r.failures),
+                   "total gates removed: " + std::to_string(r.total_removed) +
+                       "\n"))
+    return 2;
   if (r.failures > 0) {
     std::fprintf(stderr, "mfm_sweep: %d unit(s) failed re-verification\n",
                  r.failures);
