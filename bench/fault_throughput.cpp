@@ -19,10 +19,10 @@
 
 #include "bench_common.h"
 #include "common/env.h"
-#include "mult/multiplier.h"
 #include "netlist/compiled.h"
 #include "netlist/fault.h"
 #include "netlist/sim_level.h"
+#include "roster/roster.h"
 
 using namespace mfm;
 using netlist::CompiledCircuit;
@@ -46,12 +46,14 @@ int main() {
 
   const int vectors = common::env_positive_int("MFM_BENCH_VECTORS", 256);
 
-  mult::MultiplierOptions mo;
-  mo.n = 8;
-  mo.g = 4;
-  const mult::MultiplierUnit unit = mult::build_multiplier(mo);
-  const netlist::Circuit& c = *unit.circuit;
-  const CompiledCircuit cc(c);
+  // The unit and its shared compilation come from the roster cache --
+  // the same mult8 declaration the mfm_faults CI gate runs.
+  roster::UnitCache cache;
+  const std::size_t mult8 = roster::spec_index("mult8");
+  const netlist::Circuit& c =
+      *cache.unit(mult8, roster::BuildMode::kPipelined).circuit;
+  const CompiledCircuit& cc =
+      cache.compiled(mult8, roster::BuildMode::kPipelined);
 
   const std::vector<FaultSite> sites = netlist::enumerate_stuck_faults(c);
   const FaultVectors fv(c, static_cast<std::size_t>(vectors), /*seed=*/0xFA);

@@ -18,9 +18,8 @@
 
 #include "bench_common.h"
 #include "common/env.h"
-#include "mf/mf_unit.h"
-#include "mult/multiplier.h"
 #include "netlist/rewrite.h"
+#include "roster/roster.h"
 
 using namespace mfm;
 using netlist::Circuit;
@@ -42,24 +41,20 @@ int main() {
 
   const int vectors = common::env_positive_int("MFM_BENCH_VECTORS", 512);
 
-  mult::MultiplierOptions o8;
-  o8.n = 8;
-  o8.g = 4;
-  const mult::MultiplierUnit m8 = mult::build_multiplier(o8);
-  const mult::MultiplierUnit r16 = mult::build_radix16_64();
-
-  mf::MfOptions build;
-  build.pipeline = mf::MfPipeline::Combinational;
-  const mf::MfUnit mfu = mf::build_mf_unit(build);
+  // Units come from the shared roster catalog -- the same declaration
+  // mfm_opt runs, served by the compile cache.
+  roster::UnitCache cache;
+  const roster::BuildMode mode = roster::BuildMode::kCombinational;
 
   struct Case {
     std::string name;
     const Circuit* circuit;
   };
   const Case cases[] = {
-      {"mult8", m8.circuit.get()},
-      {"radix16-64", r16.circuit.get()},
-      {"mf", mfu.circuit.get()},
+      {"mult8", cache.unit(roster::spec_index("mult8"), mode).circuit.get()},
+      {"radix16-64",
+       cache.unit(roster::spec_index("radix16-64"), mode).circuit.get()},
+      {"mf", cache.unit(roster::spec_index("mf"), mode).circuit.get()},
   };
 
   bench::Table t;

@@ -18,10 +18,8 @@
 
 #include "bench_common.h"
 #include "common/env.h"
-#include "mf/mf_unit.h"
-#include "mult/multiplier.h"
-#include "netlist/lint.h"
 #include "netlist/sweep.h"
+#include "roster/roster.h"
 
 using namespace mfm;
 using netlist::Circuit;
@@ -51,20 +49,18 @@ int main() {
     std::vector<TernaryPin> pins;
   };
 
-  const mult::MultiplierUnit r16 = mult::build_radix16_64();
-
-  mf::MfOptions build;
-  build.pipeline = mf::MfPipeline::Combinational;
-  const mf::MfUnit mfu = mf::build_mf_unit(build);
-  std::vector<TernaryPin> fp32x1_pins;
-  netlist::pin_port(*mfu.circuit, "frmt",
-                    mf::frmt_bits(mf::Format::Fp32Dual), fp32x1_pins);
-  netlist::pin_port_bits(*mfu.circuit, "a", 32, 32, 0, fp32x1_pins);
-  netlist::pin_port_bits(*mfu.circuit, "b", 32, 32, 0, fp32x1_pins);
+  // Units and the fp32x1 pin set come from the shared roster catalog --
+  // the same declaration mfm_sweep runs, served by the compile cache.
+  roster::UnitCache cache;
+  const roster::BuildMode mode = roster::BuildMode::kCombinational;
+  const roster::BuiltUnit& r16 =
+      cache.unit(roster::spec_index("radix16-64"), mode);
+  const roster::BuiltUnit& mfu = cache.unit(roster::spec_index("mf"), mode);
+  const roster::PinVariant& fp32x1 = roster::find_variant(mfu, "fp32x1");
 
   const Case cases[] = {
       {"radix16-64", r16.circuit.get(), {}},
-      {"mf/fp32x1", mfu.circuit.get(), fp32x1_pins},
+      {"mf/fp32x1", mfu.circuit.get(), fp32x1.pins},
   };
 
   bench::Table t;

@@ -1,0 +1,36 @@
+# Determinism gate: run TOOL twice with identical arguments except
+# --threads=1 vs --threads=4, and require both to exit 0 and produce
+# byte-identical --json output.  Invoked by ctest (see
+# tests/CMakeLists.txt) and mirrored in CI.
+#
+#   cmake -DTOOL=<path> -DEXTRA="<args ;-or space separated>" \
+#         -DOUT_DIR=<dir> -DTAG=<name> -P threads_diff.cmake
+if(NOT DEFINED TOOL OR NOT DEFINED OUT_DIR OR NOT DEFINED TAG)
+  message(FATAL_ERROR "threads_diff.cmake needs -DTOOL=, -DOUT_DIR=, -DTAG=")
+endif()
+separate_arguments(EXTRA_ARGS UNIX_COMMAND "${EXTRA}")
+
+set(out1 "${OUT_DIR}/${TAG}.t1.json")
+set(out4 "${OUT_DIR}/${TAG}.t4.json")
+
+foreach(threads 1 4)
+  execute_process(
+    COMMAND "${TOOL}" --json ${EXTRA_ARGS} --threads=${threads}
+            "--out=${OUT_DIR}/${TAG}.t${threads}.json"
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "${TOOL} --threads=${threads} exited ${rc}\n${err}")
+  endif()
+endforeach()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files "${out1}" "${out4}"
+                RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+          "${TAG}: --threads=1 and --threads=4 JSON outputs differ "
+          "(${out1} vs ${out4}) -- the roster driver's determinism "
+          "contract is broken")
+endif()
+message(STATUS "${TAG}: byte-identical at --threads=1 and --threads=4")

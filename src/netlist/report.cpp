@@ -41,6 +41,10 @@ double total_area_nand2(const Circuit& c, const TechLib& lib) {
   return a;
 }
 
+std::size_t gate_count(const Circuit& c) {
+  return c.size() - c.primary_inputs().size() - 2;
+}
+
 void json_escape_into(std::string& out, std::string_view s) {
   for (const char ch : s) {
     switch (ch) {

@@ -32,6 +32,12 @@ std::map<std::string, ModuleArea> area_by_module(const Circuit& c,
 /// Total cell area of the circuit [NAND2 equivalents].
 double total_area_nand2(const Circuit& c, const TechLib& lib);
 
+/// Gates excluding primary inputs and the two constant nets -- the
+/// "combinational + flops" count every tool report tracks.  The one
+/// shared definition (tools and tests) of what a gate-count delta
+/// means.
+std::size_t gate_count(const Circuit& c);
+
 /// Formats a gate-kind histogram as a short text table.
 std::string format_kind_histogram(const Circuit& c);
 

@@ -21,7 +21,7 @@ RewriteResult rewrite_circuit(const Circuit& c,
 
   RewriteResult result;
   RewriteReport& rep = result.report;
-  rep.gates_before = c.size() - c.primary_inputs().size() - 2;
+  rep.gates_before = gate_count(c);
   rep.area_before_nand2 = total_area_nand2(c, lib);
   rep.rules.reserve(rules.size());
   for (const RewriteRule* r : rules)
@@ -53,8 +53,7 @@ RewriteResult rewrite_circuit(const Circuit& c,
   if (!result.circuit)  // zero matches anywhere: hand back a plain copy
     result.circuit = c.replace_cone({}).circuit;
 
-  rep.gates_after =
-      result.circuit->size() - result.circuit->primary_inputs().size() - 2;
+  rep.gates_after = gate_count(*result.circuit);
   rep.area_after_nand2 = total_area_nand2(*result.circuit, lib);
 
   if (opt.verify) {

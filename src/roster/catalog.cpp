@@ -1,0 +1,222 @@
+// The shipped generator roster, declared exactly once.
+//
+// Every mfm_* tool, the throughput benches, and the roster tests
+// enumerate their units from here.  A spec added to this table is
+// automatically linted, fault-injected, swept, and optimized -- and
+// the catalog enumeration test pins the exact name set, so adding or
+// renaming a unit is a deliberate, reviewed event.
+//
+// The mf specs are the only mode-sensitive entries: the pipelined mode
+// is the Fig. 5 build (what mfm_lint proves lane isolation on and
+// mfm_faults drives through the pipeline latency), while mfm_sweep and
+// mfm_opt request the combinational build so the optimized netlist can
+// be re-proven with the combinational equivalence checker -- the
+// result transfers, since the Fig. 5 build is the same logic with
+// registers at the stage boundaries.
+#include "roster/roster.h"
+
+#include "mf/fp_reduce.h"
+#include "mf/mf_unit.h"
+#include "mult/fp_adder.h"
+#include "mult/fp_multiplier.h"
+#include "mult/multiplier.h"
+#include "netlist/bus.h"
+
+namespace mfm::roster {
+
+namespace {
+
+using netlist::Bus;
+using netlist::Circuit;
+using netlist::LaneSpec;
+
+Bus concat(const Bus& a, const Bus& b) {
+  Bus out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+/// The unpinned-only variant list shared by the single-format units.
+std::vector<PinVariant> unpinned_only() {
+  return {PinVariant{"", {}, {}}};
+}
+
+/// The mf unit's five pin variants, built against @p unit's net ids:
+/// unpinned, one per format (frmt pinned), and fp32x1 (dual mode with
+/// the upper lane's operands pinned to zero -- the workload of
+/// power/workloads.cpp's Fp32SingleRandom).  The fp32x2 variant carries
+/// the Fig. 4 lane-isolation obligations; fp32x1 requires the idle
+/// upper product lane statically constant (the Table V saving).
+std::vector<PinVariant> mf_variants(const mf::MfUnit& unit) {
+  using mf::Format;
+  using netlist::pin_port;
+  using netlist::pin_port_bits;
+  const Circuit& c = *unit.circuit;
+
+  std::vector<PinVariant> variants;
+  variants.push_back(PinVariant{"", {}, {}});
+
+  for (const Format f : {Format::Int64, Format::Fp64, Format::Fp32Dual}) {
+    PinVariant v;
+    v.name = f == Format::Int64  ? "int64"
+             : f == Format::Fp64 ? "fp64"
+                                 : "fp32x2";
+    pin_port(c, "frmt", mf::frmt_bits(f), v.pins);
+    if (f == Format::Fp32Dual) {
+      // Fig. 4: in dual mode each lane's product must be a function of
+      // its own lane's operands only.
+      v.lanes.push_back(LaneSpec{"upper-isolated",
+                                 netlist::slice(unit.ph, 32, 32),
+                                 concat(netlist::slice(unit.a, 0, 32),
+                                        netlist::slice(unit.b, 0, 32))});
+      v.lanes.push_back(LaneSpec{"lower-isolated",
+                                 netlist::slice(unit.ph, 0, 32),
+                                 concat(netlist::slice(unit.a, 32, 32),
+                                        netlist::slice(unit.b, 32, 32))});
+    }
+    variants.push_back(std::move(v));
+  }
+
+  {
+    PinVariant v;
+    v.name = "fp32x1";
+    pin_port(c, "frmt", mf::frmt_bits(Format::Fp32Dual), v.pins);
+    pin_port_bits(c, "a", 32, 32, 0, v.pins);
+    pin_port_bits(c, "b", 32, 32, 0, v.pins);
+    v.lanes.push_back(LaneSpec{"idle-upper-constant",
+                               netlist::slice(unit.ph, 32, 32),
+                               {},
+                               /*require_constant=*/true});
+    variants.push_back(std::move(v));
+  }
+  return variants;
+}
+
+BuiltUnit build_mf(bool with_reduction, BuildMode mode) {
+  mf::MfOptions build;
+  build.with_reduction = with_reduction;
+  if (mode == BuildMode::kCombinational)
+    build.pipeline = mf::MfPipeline::Combinational;
+  mf::MfUnit unit = mf::build_mf_unit(build);
+  BuiltUnit out;
+  out.latency_cycles = unit.latency_cycles;
+  out.variants = mf_variants(unit);
+  out.circuit = std::move(unit.circuit);
+  return out;
+}
+
+const std::vector<std::string> kMfVariantNames = {"", "int64", "fp64",
+                                                  "fp32x2", "fp32x1"};
+
+}  // namespace
+
+const std::vector<UnitSpec>& catalog() {
+  static const std::vector<UnitSpec> specs = [] {
+    std::vector<UnitSpec> s;
+
+    s.push_back(UnitSpec{
+        "mult8",
+        {"multiplier", "teaching"},
+        {""},
+        /*mode_sensitive=*/false,
+        [](BuildMode) {
+          mult::MultiplierOptions o;
+          o.n = 8;
+          o.g = 4;
+          mult::MultiplierUnit unit = mult::build_multiplier(o);
+          return BuiltUnit{std::move(unit.circuit), unit.latency_cycles,
+                           unpinned_only()};
+        }});
+
+    s.push_back(UnitSpec{
+        "radix4-64",
+        {"multiplier"},
+        {""},
+        /*mode_sensitive=*/false,
+        [](BuildMode) {
+          mult::MultiplierUnit unit = mult::build_radix4_64();
+          return BuiltUnit{std::move(unit.circuit), unit.latency_cycles,
+                           unpinned_only()};
+        }});
+
+    s.push_back(UnitSpec{
+        "radix16-64",
+        {"multiplier"},
+        {""},
+        /*mode_sensitive=*/false,
+        [](BuildMode) {
+          mult::MultiplierUnit unit = mult::build_radix16_64();
+          return BuiltUnit{std::move(unit.circuit), unit.latency_cycles,
+                           unpinned_only()};
+        }});
+
+    s.push_back(UnitSpec{"mf",
+                         {"mf", "multi-format"},
+                         kMfVariantNames,
+                         /*mode_sensitive=*/true,
+                         [](BuildMode mode) {
+                           return build_mf(/*with_reduction=*/false, mode);
+                         }});
+
+    s.push_back(UnitSpec{"mf-reduce",
+                         {"mf", "multi-format", "reduction"},
+                         kMfVariantNames,
+                         /*mode_sensitive=*/true,
+                         [](BuildMode mode) {
+                           return build_mf(/*with_reduction=*/true, mode);
+                         }});
+
+    s.push_back(UnitSpec{
+        "fpmul-b32",
+        {"fp", "multiplier"},
+        {""},
+        /*mode_sensitive=*/false,
+        [](BuildMode) {
+          mult::FpMultiplierOptions opt;
+          opt.format = fp::kBinary32;
+          mult::FpMultiplierUnit unit = mult::build_fp_multiplier(opt);
+          return BuiltUnit{std::move(unit.circuit), unit.latency_cycles,
+                           unpinned_only()};
+        }});
+
+    s.push_back(UnitSpec{
+        "fpmul-b64",
+        {"fp", "multiplier"},
+        {""},
+        /*mode_sensitive=*/false,
+        [](BuildMode) {
+          mult::FpMultiplierOptions opt;
+          opt.format = fp::kBinary64;
+          mult::FpMultiplierUnit unit = mult::build_fp_multiplier(opt);
+          return BuiltUnit{std::move(unit.circuit), unit.latency_cycles,
+                           unpinned_only()};
+        }});
+
+    s.push_back(UnitSpec{
+        "fpadd-b32",
+        {"fp", "adder"},
+        {""},
+        /*mode_sensitive=*/false,
+        [](BuildMode) {
+          mult::FpAdderUnit unit = mult::build_fp_adder({});
+          return BuiltUnit{std::move(unit.circuit), unit.latency_cycles,
+                           unpinned_only()};
+        }});
+
+    s.push_back(UnitSpec{
+        "reduce64to32",
+        {"reduction"},
+        {""},
+        /*mode_sensitive=*/false,
+        [](BuildMode) {
+          mf::ReduceUnit unit = mf::build_reduce_unit();
+          return BuiltUnit{std::move(unit.circuit), /*latency_cycles=*/0,
+                           unpinned_only()};
+        }});
+
+    return s;
+  }();
+  return specs;
+}
+
+}  // namespace mfm::roster

@@ -1,0 +1,111 @@
+// Tests for the shared tool CLI layer (tools/cli_util.h): the strict
+// numeric parsers and the common-options parser every roster tool
+// (mfm_lint, mfm_faults, mfm_sweep, mfm_opt) routes its argv through.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "cli_util.h"
+
+namespace mfm::cli {
+namespace {
+
+TEST(CliParsers, LongRejectsPartialAndEmpty) {
+  long v = -1;
+  EXPECT_TRUE(parse_long("42", v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(parse_long("-7", v));
+  EXPECT_EQ(v, -7);
+  EXPECT_TRUE(parse_long("0x10", v));  // base 0: hex accepted
+  EXPECT_EQ(v, 16);
+  EXPECT_FALSE(parse_long("", v));
+  EXPECT_FALSE(parse_long("12abc", v));
+  EXPECT_FALSE(parse_long("abc", v));
+  EXPECT_FALSE(parse_long("1O0", v));  // letter O, the motivating typo
+  EXPECT_FALSE(parse_long("999999999999999999999999", v));  // ERANGE
+}
+
+TEST(CliParsers, U64AndDoubleRejectTrailingGarbage) {
+  std::uint64_t u = 0;
+  EXPECT_TRUE(parse_u64("0xFA", u));
+  EXPECT_EQ(u, 0xFAu);
+  EXPECT_FALSE(parse_u64("0xFAZ", u));
+  EXPECT_FALSE(parse_u64("", u));
+  double d = 0.0;
+  EXPECT_TRUE(parse_double("1.5", d));
+  EXPECT_DOUBLE_EQ(d, 1.5);
+  EXPECT_FALSE(parse_double("1.5x", d));
+  EXPECT_FALSE(parse_double("", d));
+}
+
+TEST(CliCommon, MatchesJsonOnlyOut) {
+  CommonOptions o;
+  EXPECT_EQ(parse_common("t", "--json", o), ParseStatus::kMatched);
+  EXPECT_TRUE(o.json);
+  EXPECT_EQ(parse_common("t", "--only=mult8,fpadd-b32", o),
+            ParseStatus::kMatched);
+  EXPECT_EQ(o.only, "mult8,fpadd-b32");
+  EXPECT_EQ(parse_common("t", "--out=/tmp/x.json", o), ParseStatus::kMatched);
+  EXPECT_EQ(o.out, "/tmp/x.json");
+}
+
+TEST(CliCommon, UnknownArgumentsFallThrough) {
+  CommonOptions o;
+  EXPECT_EQ(parse_common("t", "--fail-on=error", o), ParseStatus::kNoMatch);
+  EXPECT_EQ(parse_common("t", "--jsonx", o), ParseStatus::kNoMatch);
+  EXPECT_EQ(parse_common("t", "stray", o), ParseStatus::kNoMatch);
+}
+
+TEST(CliCommon, SeedParsesStrictly) {
+  CommonOptions o;
+  o.seed = 0x5EE9;  // tool default must survive a non-seed arg stream
+  EXPECT_EQ(parse_common("t", "--json", o), ParseStatus::kMatched);
+  EXPECT_EQ(o.seed, 0x5EE9u);
+  EXPECT_EQ(parse_common("t", "--seed=0xBEEF", o), ParseStatus::kMatched);
+  EXPECT_EQ(o.seed, 0xBEEFu);
+  EXPECT_EQ(parse_common("t", "--seed=nope", o), ParseStatus::kError);
+  EXPECT_EQ(parse_common("t", "--seed=", o), ParseStatus::kError);
+}
+
+TEST(CliCommon, SeedRejectedWhenToolHasNoRandomness) {
+  // mfm_lint sets accept_seed=false: --seed must read as an unknown
+  // argument (usage error in the tool), not be silently swallowed.
+  CommonOptions o;
+  o.accept_seed = false;
+  EXPECT_EQ(parse_common("t", "--seed=1", o), ParseStatus::kNoMatch);
+  EXPECT_EQ(o.seed, 0u);
+}
+
+TEST(CliCommon, ThreadsAcceptsRangeRejectsGarbage) {
+  CommonOptions o;
+  EXPECT_EQ(parse_common("t", "--threads=4", o), ParseStatus::kMatched);
+  EXPECT_EQ(o.threads, 4);
+  EXPECT_EQ(parse_common("t", "--threads=1", o), ParseStatus::kMatched);
+  EXPECT_EQ(o.threads, 1);
+  EXPECT_EQ(parse_common("t", std::string("--threads=") +
+                                  std::to_string(kMaxThreads), o),
+            ParseStatus::kMatched);
+  EXPECT_EQ(o.threads, kMaxThreads);
+  // All rejected with a diagnostic; the previous good value sticks.
+  EXPECT_EQ(parse_common("t", "--threads=0", o), ParseStatus::kError);
+  EXPECT_EQ(parse_common("t", "--threads=-2", o), ParseStatus::kError);
+  EXPECT_EQ(parse_common("t", "--threads=abc", o), ParseStatus::kError);
+  EXPECT_EQ(parse_common("t", "--threads=4x", o), ParseStatus::kError);
+  EXPECT_EQ(parse_common("t", std::string("--threads=") +
+                                  std::to_string(kMaxThreads + 1), o),
+            ParseStatus::kError);
+  EXPECT_EQ(o.threads, kMaxThreads);
+}
+
+TEST(CliCommon, UsageFragmentMentionsEveryCommonOption) {
+  const std::string with_seed = common_usage(true);
+  for (const char* opt : {"--json", "--only", "--out", "--seed", "--threads"})
+    EXPECT_NE(with_seed.find(opt), std::string::npos) << opt;
+  const std::string no_seed = common_usage(false);
+  EXPECT_EQ(no_seed.find("--seed"), std::string::npos);
+  EXPECT_NE(no_seed.find("--threads"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mfm::cli

@@ -5,11 +5,19 @@
 // would turn --fail-under=abc into an always-passing 0% gate, or
 // --fanout-threshold=1O0 (letter O) into a fire-on-everything 0.
 // Callers print their own usage message and exit 2 on a false return.
+//
+// CommonOptions + parse_common() hold the options all four roster
+// tools share (--json / --only / --out / --seed / --threads) behind
+// one strict-parse error path: a tool's main loop tries parse_common()
+// first, handles its own flags on kNoMatch, and exits 2 on kError or
+// an unknown argument.
 #pragma once
 
 #include <cerrno>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <string>
 
 namespace mfm::cli {
 
@@ -32,6 +40,73 @@ inline bool parse_double(const char* s, double& out) {
   errno = 0;
   out = std::strtod(s, &end);
   return end != s && *end == '\0' && errno != ERANGE;
+}
+
+/// Options every roster tool accepts.  Seed defaults are per-tool (set
+/// before parsing); accept_seed=false (mfm_lint has no randomness)
+/// makes --seed an unknown argument instead of silently ignored.
+struct CommonOptions {
+  bool json = false;
+  std::string only;  ///< comma-separated name substrings (roster filter)
+  std::string out;
+  std::uint64_t seed = 0;
+  int threads = 1;
+  bool accept_seed = true;
+};
+
+enum class ParseStatus {
+  kMatched,  ///< consumed by the common parser
+  kNoMatch,  ///< not a common option; try the tool's own flags
+  kError,    ///< diagnostic printed; caller exits 2
+};
+
+inline constexpr int kMaxThreads = 1024;
+
+/// Tries to consume @p arg as one of the common options.  Prints the
+/// diagnostic (prefixed with @p tool) itself on malformed values, so
+/// every tool rejects --threads=0 or --seed=garbage identically.
+inline ParseStatus parse_common(const char* tool, const std::string& arg,
+                                CommonOptions& o) {
+  if (arg == "--json") {
+    o.json = true;
+    return ParseStatus::kMatched;
+  }
+  if (arg.rfind("--only=", 0) == 0) {
+    o.only = arg.substr(7);
+    return ParseStatus::kMatched;
+  }
+  if (arg.rfind("--out=", 0) == 0) {
+    o.out = arg.substr(6);
+    return ParseStatus::kMatched;
+  }
+  if (o.accept_seed && arg.rfind("--seed=", 0) == 0) {
+    if (!parse_u64(arg.c_str() + 7, o.seed)) {
+      std::fprintf(stderr, "%s: bad --seed value '%s'\n", tool,
+                   arg.c_str() + 7);
+      return ParseStatus::kError;
+    }
+    return ParseStatus::kMatched;
+  }
+  if (arg.rfind("--threads=", 0) == 0) {
+    long v = 0;
+    if (!parse_long(arg.c_str() + 10, v) || v < 1 || v > kMaxThreads) {
+      std::fprintf(stderr,
+                   "%s: bad --threads value '%s' (need an integer in "
+                   "[1, %d])\n",
+                   tool, arg.c_str() + 10, kMaxThreads);
+      return ParseStatus::kError;
+    }
+    o.threads = static_cast<int>(v);
+    return ParseStatus::kMatched;
+  }
+  return ParseStatus::kNoMatch;
+}
+
+/// Usage-line fragment for the common options, matching parse_common.
+inline const char* common_usage(bool with_seed) {
+  return with_seed ? "[--json] [--only=LIST] [--out=FILE] [--seed=S] "
+                     "[--threads=N]"
+                   : "[--json] [--only=LIST] [--out=FILE] [--threads=N]";
 }
 
 }  // namespace mfm::cli

@@ -1,163 +1,97 @@
 // mfm_faults: lane-masked stuck-at fault-injection campaign over every
-// shipped generator (netlist/fault.h).
+// shipped generator in the roster catalog (netlist/fault.h,
+// roster/roster.h).
 //
-//   mfm_faults [--json] [--vectors=N] [--seed=S] [--only=SUBSTR]
+//   mfm_faults [--json] [--vectors=N] [--seed=S] [--only=LIST]
 //              [--fail-under=PCT] [--transient] [--out=FILE]
+//              [--threads=N]
 //
-// Instantiates the 8x8 radix-16 teaching multiplier (the CI coverage
-// gate target), the radix-4 and radix-16 64-bit multipliers, the
-// multi-format unit (baseline and with the Sec. IV reduction) under each
-// format's control pins -- including the fp32x1 idle-upper-lane mode,
-// whose blanked logic shows up as pinned-constant undetected faults, the
-// structural counterpart of the Table V power saving -- and the
-// single-format FP multipliers, adder and reduction unit.  Each campaign
-// batches 63 faults per PackSim pass against a fault-free reference
-// lane; undetected faults are classified against mfm-lint observability
-// and the ternary constants, so the "vector-gap" count is the actionable
-// vector-quality debt.
+// The unit set is the shared catalog: the 8x8 radix-16 teaching
+// multiplier (the CI coverage gate target), the radix-4 and radix-16
+// 64-bit multipliers, the multi-format unit (baseline and with the
+// Sec. IV reduction) unpinned and under each format's control pins --
+// including the fp32x1 idle-upper-lane mode, whose blanked logic shows
+// up as pinned-constant undetected faults, the structural counterpart
+// of the Table V power saving -- and the single-format FP multipliers,
+// adder and reduction unit.  Each campaign batches 63 faults per
+// PackSim pass against a fault-free reference lane over the cached
+// CompiledCircuit (shared read-only across the worker threads);
+// undetected faults are classified against mfm-lint observability and
+// the ternary constants, so the "vector-gap" count is the actionable
+// vector-quality debt.  Reports are emitted in catalog order, byte-
+// identical at any --threads value.
 //
 // --fail-under=PCT exits nonzero when any (filtered) unit's coverage is
 // below PCT, so CI can gate on it:
 //   mfm_faults --only=mult8 --vectors=256 --fail-under=97
 
-#include <cerrno>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "cli_util.h"
-#include "mf/fp_reduce.h"
-#include "mf/mf_unit.h"
-#include "mult/fp_adder.h"
-#include "mult/fp_multiplier.h"
-#include "mult/multiplier.h"
-#include "netlist/compiled.h"
 #include "netlist/fault.h"
-#include "netlist/lint.h"
 #include "netlist/report.h"
+#include "roster/roster.h"
 
 namespace {
 
-using mfm::netlist::Circuit;
-using mfm::netlist::CompiledCircuit;
 using mfm::netlist::FaultCampaignOptions;
 using mfm::netlist::FaultCampaignReport;
 using mfm::netlist::FaultSite;
 using mfm::netlist::FaultVectors;
-using mfm::netlist::TernaryPin;
 
 struct CliOptions {
-  bool json = false;
+  mfm::cli::CommonOptions common;
   bool transient = false;
   int vectors = 64;
-  std::uint64_t seed = 0xFA;
-  std::string only;
-  std::string out;
   double fail_under = -1.0;  // <0: no gate
 };
 
-struct Runner {
-  CliOptions cli;
-  mfm::netlist::ReportSink* sink = nullptr;
-  int failures = 0;
-  // name -> coverage, for the summary table.
-  std::vector<std::pair<std::string, double>> coverage;
-
-  void run(const std::string& name, const Circuit& c, int cycles,
-           std::vector<TernaryPin> pins) {
-    if (!cli.only.empty() && name.find(cli.only) == std::string::npos) return;
-    const CompiledCircuit cc(c);
-    std::vector<FaultSite> sites = mfm::netlist::enumerate_stuck_faults(c);
-    if (cli.transient && !c.flops().empty()) {
-      const auto flips = mfm::netlist::enumerate_transient_faults(c);
-      sites.insert(sites.end(), flips.begin(), flips.end());
-    }
-    const FaultVectors vectors(c, static_cast<std::size_t>(cli.vectors),
-                               cli.seed, pins);
-    FaultCampaignOptions opt;
-    opt.cycles = cycles;
-    const FaultCampaignReport rep =
-        run_fault_campaign(cc, sites, vectors, opt);
-    coverage.emplace_back(name, rep.coverage_pct());
-    if (cli.fail_under >= 0.0 && rep.coverage_pct() < cli.fail_under) {
-      ++failures;
-      std::fprintf(stderr, "mfm_faults: %s coverage %.2f%% below gate %.2f%%\n",
-                   name.c_str(), rep.coverage_pct(), cli.fail_under);
-    }
-    sink->unit(cli.json ? fault_report_json(rep, name)
-                        : fault_report_text(rep, name));
-  }
+struct JobResult {
+  std::string rendered;
+  bool failed = false;
+  double coverage = 0.0;
 };
 
-void run_mf(Runner& r, const char* tag, const mfm::mf::MfOptions& build) {
-  const mfm::mf::MfUnit unit = mfm::mf::build_mf_unit(build);
-  const Circuit& c = *unit.circuit;
-  const std::string base = std::string("mf") + tag;
-
-  using mfm::mf::Format;
-  using mfm::netlist::pin_port;
-  using mfm::netlist::pin_port_bits;
-
-  for (const Format f : {Format::Int64, Format::Fp64, Format::Fp32Dual}) {
-    std::vector<TernaryPin> pins;
-    pin_port(c, "frmt", mfm::mf::frmt_bits(f), pins);
-    const char* fname = f == Format::Int64  ? "int64"
-                        : f == Format::Fp64 ? "fp64"
-                                            : "fp32x2";
-    r.run(base + "/" + fname, c, unit.latency_cycles, std::move(pins));
-  }
-
-  // fp32x1: dual mode with the upper lane's operands idle (zero) -- the
-  // idle lane's blanked cone surfaces as pinned-constant faults.
-  {
-    std::vector<TernaryPin> pins;
-    pin_port(c, "frmt", mfm::mf::frmt_bits(Format::Fp32Dual), pins);
-    pin_port_bits(c, "a", 32, 32, 0, pins);
-    pin_port_bits(c, "b", 32, 32, 0, pins);
-    r.run(base + "/fp32x1", c, unit.latency_cycles, std::move(pins));
-  }
+int usage() {
+  std::fprintf(stderr,
+               "usage: mfm_faults %s [--vectors=N] [--fail-under=PCT] "
+               "[--transient]\n",
+               mfm::cli::common_usage(/*with_seed=*/true));
+  return 2;
 }
-
-using mfm::cli::parse_double;
-using mfm::cli::parse_long;
-using mfm::cli::parse_u64;
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  Runner r;
+  CliOptions cli;
+  cli.common.seed = 0xFA;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json") {
-      r.cli.json = true;
-    } else if (arg == "--transient") {
-      r.cli.transient = true;
+    switch (mfm::cli::parse_common("mfm_faults", arg, cli.common)) {
+      case mfm::cli::ParseStatus::kMatched: continue;
+      case mfm::cli::ParseStatus::kError: return 2;
+      case mfm::cli::ParseStatus::kNoMatch: break;
+    }
+    if (arg == "--transient") {
+      cli.transient = true;
     } else if (arg.rfind("--vectors=", 0) == 0) {
       long v = 0;
-      if (!parse_long(arg.c_str() + 10, v) || v < 2 || v > 1'000'000) {
+      if (!mfm::cli::parse_long(arg.c_str() + 10, v) || v < 2 ||
+          v > 1'000'000) {
         std::fprintf(stderr,
                      "mfm_faults: bad --vectors value '%s' (need an integer "
                      ">= 2)\n",
                      arg.c_str() + 10);
         return 2;
       }
-      r.cli.vectors = static_cast<int>(v);
-    } else if (arg.rfind("--seed=", 0) == 0) {
-      if (!parse_u64(arg.c_str() + 7, r.cli.seed)) {
-        std::fprintf(stderr, "mfm_faults: bad --seed value '%s'\n",
-                     arg.c_str() + 7);
-        return 2;
-      }
-    } else if (arg.rfind("--only=", 0) == 0) {
-      r.cli.only = arg.substr(7);
-    } else if (arg.rfind("--out=", 0) == 0) {
-      r.cli.out = arg.substr(6);
+      cli.vectors = static_cast<int>(v);
     } else if (arg.rfind("--fail-under=", 0) == 0) {
-      if (!parse_double(arg.c_str() + 13, r.cli.fail_under) ||
-          r.cli.fail_under < 0.0 || r.cli.fail_under > 100.0) {
+      if (!mfm::cli::parse_double(arg.c_str() + 13, cli.fail_under) ||
+          cli.fail_under < 0.0 || cli.fail_under > 100.0) {
         std::fprintf(stderr,
                      "mfm_faults: bad --fail-under value '%s' (need a "
                      "percentage in [0, 100])\n",
@@ -165,72 +99,62 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else {
-      std::fprintf(stderr,
-                   "usage: mfm_faults [--json] [--vectors=N] [--seed=S] "
-                   "[--only=SUBSTR] [--fail-under=PCT] [--transient] "
-                   "[--out=FILE]\n");
-      return 2;
+      return usage();
     }
   }
 
-  mfm::netlist::ReportSink sink("mfm_faults", r.cli.json, r.cli.out);
+  mfm::netlist::ReportSink sink("mfm_faults", cli.common.json, cli.common.out);
   if (!sink.ok()) return 2;
-  r.sink = &sink;
 
-  {
-    mfm::mult::MultiplierOptions o;
-    o.n = 8;
-    o.g = 4;
-    const auto unit = mfm::mult::build_multiplier(o);
-    r.run("mult8", *unit.circuit, 0, {});
-  }
-  {
-    const auto unit = mfm::mult::build_radix4_64();
-    r.run("radix4-64", *unit.circuit, 0, {});
-  }
-  {
-    const auto unit = mfm::mult::build_radix16_64();
-    r.run("radix16-64", *unit.circuit, 0, {});
-  }
-  run_mf(r, "", {});
-  run_mf(r, "-reduce", {.with_reduction = true});
-  {
-    mfm::mult::FpMultiplierOptions opt;
-    opt.format = mfm::fp::kBinary32;
-    const auto unit = mfm::mult::build_fp_multiplier(opt);
-    r.run("fpmul-b32", *unit.circuit, 0, {});
-  }
-  {
-    mfm::mult::FpMultiplierOptions opt;
-    opt.format = mfm::fp::kBinary64;
-    const auto unit = mfm::mult::build_fp_multiplier(opt);
-    r.run("fpmul-b64", *unit.circuit, 0, {});
-  }
-  {
-    const auto unit = mfm::mult::build_fp_adder({});
-    r.run("fpadd-b32", *unit.circuit, 0, {});
-  }
-  {
-    const auto unit = mfm::mf::build_reduce_unit();
-    r.run("reduce64to32", *unit.circuit, 0, {});
-  }
+  mfm::roster::RosterDriver driver(mfm::roster::BuildMode::kPipelined,
+                                   cli.common.only, cli.common.threads);
+  const std::vector<JobResult> results = driver.run<JobResult>(
+      sink, [&cli](const mfm::roster::JobContext& ctx) {
+        const mfm::netlist::Circuit& c = *ctx.unit.circuit;
+        std::vector<FaultSite> sites = mfm::netlist::enumerate_stuck_faults(c);
+        if (cli.transient && !c.flops().empty()) {
+          const auto flips = mfm::netlist::enumerate_transient_faults(c);
+          sites.insert(sites.end(), flips.begin(), flips.end());
+        }
+        const FaultVectors vectors(c, static_cast<std::size_t>(cli.vectors),
+                                   cli.common.seed, ctx.variant.pins);
+        FaultCampaignOptions opt;
+        opt.cycles = ctx.unit.latency_cycles;
+        const FaultCampaignReport rep =
+            run_fault_campaign(ctx.compiled(), sites, vectors, opt);
+        JobResult r;
+        r.coverage = rep.coverage_pct();
+        r.failed = cli.fail_under >= 0.0 && r.coverage < cli.fail_under;
+        r.rendered = cli.common.json ? fault_report_json(rep, ctx.job.name)
+                                     : fault_report_text(rep, ctx.job.name);
+        return r;
+      });
 
+  int failures = 0;
   std::ostringstream summary;
-  if (!r.coverage.empty()) {
-    summary << "stuck-at coverage by unit (" << r.cli.vectors
+  if (!results.empty()) {
+    summary << "stuck-at coverage by unit (" << cli.vectors
             << " vectors/fault):\n";
-    for (const auto& [name, pct] : r.coverage) {
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const std::string& name = driver.jobs()[i].name;
+      if (results[i].failed) {
+        ++failures;
+        std::fprintf(stderr,
+                     "mfm_faults: %s coverage %.2f%% below gate %.2f%%\n",
+                     name.c_str(), results[i].coverage, cli.fail_under);
+      }
       char line[64];
-      std::snprintf(line, sizeof line, "  %-18s %6.2f%%\n", name.c_str(), pct);
+      std::snprintf(line, sizeof line, "  %-18s %6.2f%%\n", name.c_str(),
+                    results[i].coverage);
       summary << line;
     }
   }
-  if (!sink.finish("\"failures\":" + std::to_string(r.failures),
-                   summary.str()))
+
+  if (!sink.finish("\"failures\":" + std::to_string(failures), summary.str()))
     return 2;
-  if (r.failures > 0) {
+  if (failures > 0) {
     std::fprintf(stderr, "mfm_faults: %d unit(s) below the coverage gate\n",
-                 r.failures);
+                 failures);
     return 1;
   }
   return 0;

@@ -1,139 +1,81 @@
-// mfm_lint: run the netlist static analyzer over every shipped generator.
+// mfm_lint: run the netlist static analyzer over every shipped
+// generator in the roster catalog (roster/roster.h).
 //
-//   mfm_lint [--json] [--fail-on=error|warning] [--only=SUBSTR]
-//            [--fanout-threshold=N] [--out=FILE]
+//   mfm_lint [--json] [--fail-on=error|warning] [--only=LIST]
+//            [--fanout-threshold=N] [--out=FILE] [--threads=N]
 //
-// Instantiates the radix-4 and radix-16 multipliers, the multi-format
-// unit (baseline and with the Sec. IV reduction integrated) under each
-// format's control pins, the single-format FP multipliers and adder, and
-// the standalone reduction unit, and lints each one.  For the MF unit the
-// fp32x2 run carries the Fig. 4 lane-isolation obligations (each lane's
-// product cone must exclude the other lane's operand inputs) and the
-// fp32x1 run proves the idle upper lane statically constant.
+// The unit set is the shared catalog: the teaching multiplier, the
+// radix-4 and radix-16 64-bit multipliers, the multi-format unit
+// (baseline and with the Sec. IV reduction integrated) unpinned and
+// under each format's control pins, the single-format FP multipliers
+// and adder, and the standalone reduction unit.  For the MF unit the
+// fp32x2 variant carries the Fig. 4 lane-isolation obligations (each
+// lane's product cone must exclude the other lane's operand inputs)
+// and the fp32x1 variant proves the idle upper lane statically
+// constant -- both declared once in the catalog, next to the pins.
+//
+// Units are linted in parallel over --threads workers; reports are
+// buffered and emitted in catalog order, so the output is byte-
+// identical at any thread count.
 //
 // Exit status is nonzero when any report has findings at or above the
 // --fail-on severity (default: error), so CI can gate on it.
 
 #include <cstdio>
-#include <cstring>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "cli_util.h"
-#include "mf/fp_reduce.h"
-#include "mf/mf_unit.h"
-#include "mult/fp_adder.h"
-#include "mult/fp_multiplier.h"
-#include "mult/multiplier.h"
 #include "netlist/lint.h"
 #include "netlist/report.h"
+#include "roster/roster.h"
 
 namespace {
 
-using mfm::netlist::Bus;
-using mfm::netlist::Circuit;
-using mfm::netlist::LaneSpec;
 using mfm::netlist::LintOptions;
 using mfm::netlist::LintReport;
 using mfm::netlist::LintSeverity;
 
 struct CliOptions {
-  bool json = false;
+  mfm::cli::CommonOptions common;
   LintSeverity fail_on = LintSeverity::kError;
-  std::string only;
-  std::string out;
   int fanout_threshold = 0;
 };
 
-struct Runner {
-  CliOptions cli;
-  mfm::netlist::ReportSink* sink = nullptr;
-  int failures = 0;
-  // name -> active combinational gates, for the Table V summary.
-  std::vector<std::pair<std::string, std::size_t>> active;
-
-  void run(const std::string& name, const Circuit& c, LintOptions opt) {
-    if (!cli.only.empty() && name.find(cli.only) == std::string::npos) return;
-    opt.fanout_warning_threshold = cli.fanout_threshold;
-    const LintReport rep = lint_circuit(c, opt);
-    if (!rep.clean(cli.fail_on)) ++failures;
-    if (rep.constant_ran && !opt.pins.empty())
-      active.emplace_back(name, rep.active_gates);
-    sink->unit(cli.json ? lint_report_json(rep, name)
-                        : lint_report_text(rep, name));
-  }
+struct JobResult {
+  std::string rendered;
+  bool failed = false;
+  // Active combinational gates under the format pins, for the Table V
+  // summary (set only for pinned variants).
+  bool has_active = false;
+  std::size_t active_gates = 0;
 };
 
-Bus concat(const Bus& a, const Bus& b) {
-  Bus out = a;
-  out.insert(out.end(), b.begin(), b.end());
-  return out;
-}
-
-void lint_mf(Runner& r, const char* tag, const mfm::mf::MfOptions& build) {
-  const mfm::mf::MfUnit unit = mfm::mf::build_mf_unit(build);
-  const Circuit& c = *unit.circuit;
-  const std::string base = std::string("mf") + tag;
-
-  using mfm::mf::Format;
-  using mfm::netlist::pin_port;
-  using mfm::netlist::pin_port_bits;
-
-  for (const Format f : {Format::Int64, Format::Fp64, Format::Fp32Dual}) {
-    LintOptions opt;
-    pin_port(c, "frmt", mfm::mf::frmt_bits(f), opt.pins);
-    const char* fname = f == Format::Int64  ? "int64"
-                        : f == Format::Fp64 ? "fp64"
-                                            : "fp32x2";
-    if (f == Format::Fp32Dual) {
-      // Fig. 4: in dual mode each lane's product must be a function of
-      // its own lane's operands only.
-      opt.lanes.push_back(
-          LaneSpec{"upper-isolated", mfm::netlist::slice(unit.ph, 32, 32),
-                   concat(mfm::netlist::slice(unit.a, 0, 32),
-                          mfm::netlist::slice(unit.b, 0, 32))});
-      opt.lanes.push_back(
-          LaneSpec{"lower-isolated", mfm::netlist::slice(unit.ph, 0, 32),
-                   concat(mfm::netlist::slice(unit.a, 32, 32),
-                          mfm::netlist::slice(unit.b, 32, 32))});
-    }
-    r.run(base + "/" + fname, c, std::move(opt));
-  }
-
-  // fp32x1: dual-mode with the upper lane's operands idle (zero), the
-  // workload of power/workloads.cpp's Fp32SingleRandom.  The idle lane's
-  // outputs must be statically constant -- that is where the fp32x1 power
-  // saving of Table V comes from.
-  {
-    LintOptions opt;
-    pin_port(c, "frmt", mfm::mf::frmt_bits(Format::Fp32Dual), opt.pins);
-    pin_port_bits(c, "a", 32, 32, 0, opt.pins);
-    pin_port_bits(c, "b", 32, 32, 0, opt.pins);
-    opt.lanes.push_back(LaneSpec{"idle-upper-constant",
-                                 mfm::netlist::slice(unit.ph, 32, 32),
-                                 {},
-                                 /*require_constant=*/true});
-    r.run(base + "/fp32x1", c, std::move(opt));
-  }
+int usage() {
+  std::fprintf(stderr,
+               "usage: mfm_lint %s [--fail-on=error|warning] "
+               "[--fanout-threshold=N]\n",
+               mfm::cli::common_usage(/*with_seed=*/false));
+  return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  Runner r;
+  CliOptions cli;
+  cli.common.accept_seed = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json") {
-      r.cli.json = true;
-    } else if (arg == "--fail-on=error") {
-      r.cli.fail_on = LintSeverity::kError;
+    switch (mfm::cli::parse_common("mfm_lint", arg, cli.common)) {
+      case mfm::cli::ParseStatus::kMatched: continue;
+      case mfm::cli::ParseStatus::kError: return 2;
+      case mfm::cli::ParseStatus::kNoMatch: break;
+    }
+    if (arg == "--fail-on=error") {
+      cli.fail_on = LintSeverity::kError;
     } else if (arg == "--fail-on=warning") {
-      r.cli.fail_on = LintSeverity::kWarning;
-    } else if (arg.rfind("--only=", 0) == 0) {
-      r.cli.only = arg.substr(7);
-    } else if (arg.rfind("--out=", 0) == 0) {
-      r.cli.out = arg.substr(6);
+      cli.fail_on = LintSeverity::kWarning;
     } else if (arg.rfind("--fanout-threshold=", 0) == 0) {
       long v = 0;
       if (!mfm::cli::parse_long(arg.c_str() + 19, v) || v < 0 ||
@@ -144,67 +86,58 @@ int main(int argc, char** argv) {
                      arg.c_str() + 19);
         return 2;
       }
-      r.cli.fanout_threshold = static_cast<int>(v);
+      cli.fanout_threshold = static_cast<int>(v);
     } else {
-      std::fprintf(stderr,
-                   "usage: mfm_lint [--json] [--fail-on=error|warning] "
-                   "[--only=SUBSTR] [--fanout-threshold=N] [--out=FILE]\n");
-      return 2;
+      return usage();
     }
   }
 
-  mfm::netlist::ReportSink sink("mfm_lint", r.cli.json, r.cli.out);
+  mfm::netlist::ReportSink sink("mfm_lint", cli.common.json, cli.common.out);
   if (!sink.ok()) return 2;
-  r.sink = &sink;
 
-  {
-    const auto unit = mfm::mult::build_radix4_64();
-    r.run("radix4-64", *unit.circuit, {});
-  }
-  {
-    const auto unit = mfm::mult::build_radix16_64();
-    r.run("radix16-64", *unit.circuit, {});
-  }
-  lint_mf(r, "", {});
-  lint_mf(r, "-reduce", {.with_reduction = true});
-  {
-    mfm::mult::FpMultiplierOptions opt;
-    opt.format = mfm::fp::kBinary32;
-    const auto unit = mfm::mult::build_fp_multiplier(opt);
-    r.run("fpmul-b32", *unit.circuit, {});
-  }
-  {
-    mfm::mult::FpMultiplierOptions opt;
-    opt.format = mfm::fp::kBinary64;
-    const auto unit = mfm::mult::build_fp_multiplier(opt);
-    r.run("fpmul-b64", *unit.circuit, {});
-  }
-  {
-    const auto unit = mfm::mult::build_fp_adder({});
-    r.run("fpadd-b32", *unit.circuit, {});
-  }
-  {
-    const auto unit = mfm::mf::build_reduce_unit();
-    r.run("reduce64to32", *unit.circuit, {});
-  }
+  mfm::roster::RosterDriver driver(mfm::roster::BuildMode::kPipelined,
+                                   cli.common.only, cli.common.threads);
+  const std::vector<JobResult> results = driver.run<JobResult>(
+      sink, [&cli](const mfm::roster::JobContext& ctx) {
+        LintOptions opt;
+        opt.pins = ctx.variant.pins;
+        opt.lanes = ctx.variant.lanes;
+        opt.fanout_warning_threshold = cli.fanout_threshold;
+        const LintReport rep = lint_circuit(*ctx.unit.circuit, opt);
+        JobResult r;
+        r.failed = !rep.clean(cli.fail_on);
+        if (rep.constant_ran && !opt.pins.empty()) {
+          r.has_active = true;
+          r.active_gates = rep.active_gates;
+        }
+        r.rendered = cli.common.json ? lint_report_json(rep, ctx.job.name)
+                                     : lint_report_text(rep, ctx.job.name);
+        return r;
+      });
 
+  int failures = 0;
   std::ostringstream summary;
-  if (!r.active.empty()) {
+  bool any_active = false;
+  for (const JobResult& r : results) any_active |= r.has_active;
+  if (any_active)
     // Table V, structurally: gates that can toggle under each format pin.
     summary << "active combinational gates by format:\n";
-    for (const auto& [name, n] : r.active) {
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].failed) ++failures;
+    if (results[i].has_active) {
       char line[64];
-      std::snprintf(line, sizeof line, "  %-18s %zu\n", name.c_str(), n);
+      std::snprintf(line, sizeof line, "  %-18s %zu\n",
+                    driver.jobs()[i].name.c_str(), results[i].active_gates);
       summary << line;
     }
   }
-  if (!sink.finish("\"failures\":" + std::to_string(r.failures),
-                   summary.str()))
+
+  if (!sink.finish("\"failures\":" + std::to_string(failures), summary.str()))
     return 2;
-  if (r.failures > 0) {
+  if (failures > 0) {
     std::fprintf(stderr, "mfm_lint: %d unit report(s) with findings at %s+\n",
-                 r.failures,
-                 std::string(lint_severity_name(r.cli.fail_on)).c_str());
+                 failures,
+                 std::string(lint_severity_name(cli.fail_on)).c_str());
     return 1;
   }
   return 0;

@@ -1,23 +1,27 @@
 // mfm_opt: declarative pattern-rewrite optimization over every shipped
-// generator (netlist/rewrite.h) -- the lint stack turned into a small
-// synthesis flow.
+// generator in the roster catalog (netlist/rewrite.h, roster/roster.h)
+// -- the lint stack turned into a small synthesis flow.
 //
-//   mfm_opt [--json] [--only=SUBSTR] [--seed=S] [--verify-vectors=N]
+//   mfm_opt [--json] [--only=LIST] [--seed=S] [--verify-vectors=N]
 //           [--rounds=N] [--no-sweep] [--min-area-saved=X] [--out=FILE]
+//           [--threads=N]
 //
-// Instantiates the 8x8 radix-16 teaching multiplier, the radix-4 and
-// radix-16 64-bit multipliers, the multi-format unit (baseline and with
-// the Sec. IV reduction, combinational build) -- unpinned and under
-// each format's control pins, including the fp32x1 idle-upper-lane mode
-// -- plus the single-format FP multipliers, adder, and reduction unit.
-// Each unit runs the full pipeline: SAT sweep (mode-specialized under
-// the pins), AO/OA fusion + inverter rewriting to fixpoint
+// The unit set is the shared catalog: the 8x8 radix-16 teaching
+// multiplier, the radix-4 and radix-16 64-bit multipliers, the
+// multi-format unit (baseline and with the Sec. IV reduction,
+// combinational build) -- unpinned and under each format's control
+// pins, including the fp32x1 idle-upper-lane mode -- plus the
+// single-format FP multipliers, adder, and reduction unit.  Each unit
+// runs the full pipeline as one roster job: SAT sweep (mode-specialized
+// under the pins), AO/OA fusion + inverter rewriting to fixpoint
 // (default_rewrite_rules), a second sweep over the rewritten netlist,
 // and a final end-to-end equivalence proof of the result against the
 // ORIGINAL circuit under the same pins (check_equivalence, or
-// multi-cycle random cosimulation for sequential units).  The report
-// carries the end-to-end gate/area delta with TechLib::lp45() pricing
-// plus the per-rule match counts from the rewrite stage.
+// multi-cycle random cosimulation for sequential units).  Jobs fan out
+// over --threads workers -- the sweep/proof stages are embarrassingly
+// parallel across units -- and reports are emitted in catalog order
+// with the end-to-end gate/area delta (TechLib::lp45() pricing) plus
+// the per-rule match counts, byte-identical at any thread count.
 //
 // Exit status is nonzero when any end-to-end proof fails (a rewrite or
 // sweep bug: the optimized netlist MUST be equivalent) or when the
@@ -32,16 +36,11 @@
 #include <vector>
 
 #include "cli_util.h"
-#include "mf/fp_reduce.h"
-#include "mf/mf_unit.h"
-#include "mult/fp_adder.h"
-#include "mult/fp_multiplier.h"
-#include "mult/multiplier.h"
 #include "netlist/equiv.h"
-#include "netlist/lint.h"
 #include "netlist/report.h"
 #include "netlist/rewrite.h"
 #include "netlist/sweep.h"
+#include "roster/roster.h"
 
 namespace {
 
@@ -53,155 +52,116 @@ using mfm::netlist::RewriteResult;
 using mfm::netlist::SweepOptions;
 using mfm::netlist::SweepResult;
 using mfm::netlist::TechLib;
-using mfm::netlist::TernaryPin;
 
 struct CliOptions {
-  bool json = false;
+  mfm::cli::CommonOptions common;
   bool no_sweep = false;
-  std::string only;
-  std::string out;
-  std::uint64_t seed = 0x0B7;
   int verify_vectors = 4000;
   int rounds = 8;  // signature rounds of the sweep stages
   double min_area_saved = 0.0;
 };
 
-std::size_t gate_count(const Circuit& c) {
-  return c.size() - c.primary_inputs().size() - 2;
-}
-
-struct Runner {
-  CliOptions cli;
-  mfm::netlist::ReportSink* sink = nullptr;
-  int failures = 0;
-  double total_area_saved = 0.0;
-
-  void run(const std::string& name, const Circuit& c,
-           std::vector<TernaryPin> pins) {
-    if (!cli.only.empty() && name.find(cli.only) == std::string::npos) return;
-    const TechLib& lib = TechLib::lp45();
-
-    // Stage verification is off: the pipeline ends with one end-to-end
-    // proof against the original, which is what CI gates on.
-    const Circuit* cur = &c;
-    std::unique_ptr<Circuit> stage;
-    if (!cli.no_sweep) {
-      SweepOptions so;
-      so.pins = pins;
-      so.signature_rounds = cli.rounds;
-      so.seed = cli.seed;
-      so.verify = false;
-      SweepResult sr = sweep_circuit(*cur, so, lib);
-      stage = std::move(sr.circuit);
-      cur = stage.get();
-    }
-
-    RewriteOptions ro;
-    ro.pins = pins;
-    ro.seed = cli.seed;
-    ro.verify = false;
-    RewriteResult rr = optimize_circuit(*cur, ro, lib);
-    stage = std::move(rr.circuit);
-    cur = stage.get();
-
-    if (!cli.no_sweep) {
-      // The rewrite can expose new merges (e.g. a fused cell duplicating
-      // an existing one); sweep again over the rewritten netlist.
-      SweepOptions so;
-      so.pins = pins;
-      so.signature_rounds = cli.rounds;
-      so.seed = cli.seed ^ 0x90;
-      so.verify = false;
-      SweepResult sr = sweep_circuit(*cur, so, lib);
-      stage = std::move(sr.circuit);
-      cur = stage.get();
-    }
-
-    const EquivResult eq =
-        c.flops().empty()
-            ? check_equivalence(c, *cur, pins, cli.verify_vectors,
-                                cli.seed ^ 0xE2E)
-            : check_equivalence_cosim(c, *cur, pins, cli.verify_vectors,
-                                      cli.seed ^ 0xE2E);
-    if (!eq.equivalent) {
-      ++failures;
-      std::fprintf(stderr,
-                   "mfm_opt: %s: optimized netlist FAILED the end-to-end "
-                   "equivalence proof: %s\n",
-                   name.c_str(), eq.counterexample.c_str());
-    }
-
-    // One report for the whole pipeline: end-to-end gate/area deltas,
-    // rule breakdown from the rewrite stage, end-to-end proof result.
-    RewriteReport rep = rr.report;
-    rep.gates_before = gate_count(c);
-    rep.area_before_nand2 = total_area_nand2(c, lib);
-    rep.gates_after = gate_count(*cur);
-    rep.area_after_nand2 = total_area_nand2(*cur, lib);
-    rep.verify_ran = true;
-    rep.verified = eq.equivalent;
-    rep.verify_vectors = eq.vectors;
-    rep.counterexample = eq.equivalent ? "" : eq.counterexample;
-    total_area_saved += rep.area_removed_nand2();
-
-    sink->unit(cli.json ? rewrite_report_json(rep, name)
-                        : rewrite_report_text(rep, name));
-  }
+struct JobResult {
+  std::string rendered;
+  bool failed = false;
+  std::string error;  ///< end-to-end proof counterexample, for stderr
+  double area_saved = 0.0;
 };
 
-void opt_mf(Runner& r, const char* tag, bool with_reduction) {
-  // Combinational build, like mfm_sweep: the end-to-end proof uses
-  // check_equivalence, and the result transfers to the Fig. 5 pipeline
-  // (same logic with registers at the stage boundaries).
-  mfm::mf::MfOptions build;
-  build.pipeline = mfm::mf::MfPipeline::Combinational;
-  build.with_reduction = with_reduction;
-  const mfm::mf::MfUnit unit = mfm::mf::build_mf_unit(build);
-  const Circuit& c = *unit.circuit;
-  const std::string base = std::string("mf") + tag;
+int usage() {
+  std::fprintf(stderr,
+               "usage: mfm_opt %s [--verify-vectors=N] [--rounds=N] "
+               "[--no-sweep] [--min-area-saved=X]\n",
+               mfm::cli::common_usage(/*with_seed=*/true));
+  return 2;
+}
 
-  using mfm::mf::Format;
-  using mfm::netlist::pin_port;
-  using mfm::netlist::pin_port_bits;
+/// The whole sweep -> rewrite -> sweep pipeline plus the end-to-end
+/// proof, as one roster job body.
+JobResult optimize_unit(const CliOptions& cli,
+                        const mfm::roster::JobContext& ctx) {
+  const Circuit& c = *ctx.unit.circuit;
+  const std::vector<mfm::netlist::TernaryPin>& pins = ctx.variant.pins;
+  const TechLib& lib = TechLib::lp45();
 
-  r.run(base, c, {});  // mode-independent rewrites only
-  for (const Format f : {Format::Int64, Format::Fp64, Format::Fp32Dual}) {
-    std::vector<TernaryPin> pins;
-    pin_port(c, "frmt", mfm::mf::frmt_bits(f), pins);
-    const char* fname = f == Format::Int64  ? "int64"
-                        : f == Format::Fp64 ? "fp64"
-                                            : "fp32x2";
-    r.run(base + "/" + fname, c, std::move(pins));
+  // Stage verification is off: the pipeline ends with one end-to-end
+  // proof against the original, which is what CI gates on.
+  const Circuit* cur = &c;
+  std::unique_ptr<Circuit> stage;
+  if (!cli.no_sweep) {
+    SweepOptions so;
+    so.pins = pins;
+    so.signature_rounds = cli.rounds;
+    so.seed = cli.common.seed;
+    so.verify = false;
+    SweepResult sr = sweep_circuit(*cur, so, lib);
+    stage = std::move(sr.circuit);
+    cur = stage.get();
   }
-  {
-    std::vector<TernaryPin> pins;
-    pin_port(c, "frmt", mfm::mf::frmt_bits(Format::Fp32Dual), pins);
-    pin_port_bits(c, "a", 32, 32, 0, pins);
-    pin_port_bits(c, "b", 32, 32, 0, pins);
-    r.run(base + "/fp32x1", c, std::move(pins));
+
+  RewriteOptions ro;
+  ro.pins = pins;
+  ro.seed = cli.common.seed;
+  ro.verify = false;
+  RewriteResult rr = optimize_circuit(*cur, ro, lib);
+  stage = std::move(rr.circuit);
+  cur = stage.get();
+
+  if (!cli.no_sweep) {
+    // The rewrite can expose new merges (e.g. a fused cell duplicating
+    // an existing one); sweep again over the rewritten netlist.
+    SweepOptions so;
+    so.pins = pins;
+    so.signature_rounds = cli.rounds;
+    so.seed = cli.common.seed ^ 0x90;
+    so.verify = false;
+    SweepResult sr = sweep_circuit(*cur, so, lib);
+    stage = std::move(sr.circuit);
+    cur = stage.get();
   }
+
+  const EquivResult eq =
+      c.flops().empty()
+          ? check_equivalence(c, *cur, pins, cli.verify_vectors,
+                              cli.common.seed ^ 0xE2E)
+          : check_equivalence_cosim(c, *cur, pins, cli.verify_vectors,
+                                    cli.common.seed ^ 0xE2E);
+
+  // One report for the whole pipeline: end-to-end gate/area deltas,
+  // rule breakdown from the rewrite stage, end-to-end proof result.
+  RewriteReport rep = rr.report;
+  rep.gates_before = mfm::netlist::gate_count(c);
+  rep.area_before_nand2 = total_area_nand2(c, lib);
+  rep.gates_after = mfm::netlist::gate_count(*cur);
+  rep.area_after_nand2 = total_area_nand2(*cur, lib);
+  rep.verify_ran = true;
+  rep.verified = eq.equivalent;
+  rep.verify_vectors = eq.vectors;
+  rep.counterexample = eq.equivalent ? "" : eq.counterexample;
+
+  JobResult r;
+  r.failed = !eq.equivalent;
+  r.error = eq.equivalent ? "" : eq.counterexample;
+  r.area_saved = rep.area_removed_nand2();
+  r.rendered = cli.common.json ? rewrite_report_json(rep, ctx.job.name)
+                               : rewrite_report_text(rep, ctx.job.name);
+  return r;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  Runner r;
+  CliOptions cli;
+  cli.common.seed = 0x0B7;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json") {
-      r.cli.json = true;
-    } else if (arg == "--no-sweep") {
-      r.cli.no_sweep = true;
-    } else if (arg.rfind("--only=", 0) == 0) {
-      r.cli.only = arg.substr(7);
-    } else if (arg.rfind("--out=", 0) == 0) {
-      r.cli.out = arg.substr(6);
-    } else if (arg.rfind("--seed=", 0) == 0) {
-      if (!mfm::cli::parse_u64(arg.c_str() + 7, r.cli.seed)) {
-        std::fprintf(stderr, "mfm_opt: bad --seed value '%s'\n",
-                     arg.c_str() + 7);
-        return 2;
-      }
+    switch (mfm::cli::parse_common("mfm_opt", arg, cli.common)) {
+      case mfm::cli::ParseStatus::kMatched: continue;
+      case mfm::cli::ParseStatus::kError: return 2;
+      case mfm::cli::ParseStatus::kNoMatch: break;
+    }
+    if (arg == "--no-sweep") {
+      cli.no_sweep = true;
     } else if (arg.rfind("--verify-vectors=", 0) == 0) {
       long v = 0;
       if (!mfm::cli::parse_long(arg.c_str() + 17, v) || v < 2 ||
@@ -212,7 +172,7 @@ int main(int argc, char** argv) {
                      arg.c_str() + 17);
         return 2;
       }
-      r.cli.verify_vectors = static_cast<int>(v);
+      cli.verify_vectors = static_cast<int>(v);
     } else if (arg.rfind("--rounds=", 0) == 0) {
       long v = 0;
       if (!mfm::cli::parse_long(arg.c_str() + 9, v) || v < 1 || v > 10'000) {
@@ -222,10 +182,10 @@ int main(int argc, char** argv) {
                      arg.c_str() + 9);
         return 2;
       }
-      r.cli.rounds = static_cast<int>(v);
+      cli.rounds = static_cast<int>(v);
     } else if (arg.rfind("--min-area-saved=", 0) == 0) {
-      if (!mfm::cli::parse_double(arg.c_str() + 17, r.cli.min_area_saved) ||
-          r.cli.min_area_saved < 0.0) {
+      if (!mfm::cli::parse_double(arg.c_str() + 17, cli.min_area_saved) ||
+          cli.min_area_saved < 0.0) {
         std::fprintf(stderr,
                      "mfm_opt: bad --min-area-saved value '%s' (need a "
                      "number >= 0)\n",
@@ -233,74 +193,51 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else {
-      std::fprintf(stderr,
-                   "usage: mfm_opt [--json] [--only=SUBSTR] [--seed=S] "
-                   "[--verify-vectors=N] [--rounds=N] [--no-sweep] "
-                   "[--min-area-saved=X] [--out=FILE]\n");
-      return 2;
+      return usage();
     }
   }
 
-  mfm::netlist::ReportSink sink("mfm_opt", r.cli.json, r.cli.out);
+  mfm::netlist::ReportSink sink("mfm_opt", cli.common.json, cli.common.out);
   if (!sink.ok()) return 2;
-  r.sink = &sink;
 
-  {
-    mfm::mult::MultiplierOptions o;
-    o.n = 8;
-    o.g = 4;
-    const auto unit = mfm::mult::build_multiplier(o);
-    r.run("mult8", *unit.circuit, {});
-  }
-  {
-    const auto unit = mfm::mult::build_radix4_64();
-    r.run("radix4-64", *unit.circuit, {});
-  }
-  {
-    const auto unit = mfm::mult::build_radix16_64();
-    r.run("radix16-64", *unit.circuit, {});
-  }
-  opt_mf(r, "", /*with_reduction=*/false);
-  opt_mf(r, "-reduce", /*with_reduction=*/true);
-  {
-    mfm::mult::FpMultiplierOptions opt;
-    opt.format = mfm::fp::kBinary32;
-    const auto unit = mfm::mult::build_fp_multiplier(opt);
-    r.run("fpmul-b32", *unit.circuit, {});
-  }
-  {
-    mfm::mult::FpMultiplierOptions opt;
-    opt.format = mfm::fp::kBinary64;
-    const auto unit = mfm::mult::build_fp_multiplier(opt);
-    r.run("fpmul-b64", *unit.circuit, {});
-  }
-  {
-    const auto unit = mfm::mult::build_fp_adder({});
-    r.run("fpadd-b32", *unit.circuit, {});
-  }
-  {
-    const auto unit = mfm::mf::build_reduce_unit();
-    r.run("reduce64to32", *unit.circuit, {});
+  mfm::roster::RosterDriver driver(mfm::roster::BuildMode::kCombinational,
+                                   cli.common.only, cli.common.threads);
+  const std::vector<JobResult> results = driver.run<JobResult>(
+      sink, [&cli](const mfm::roster::JobContext& ctx) {
+        return optimize_unit(cli, ctx);
+      });
+
+  int failures = 0;
+  double total_area_saved = 0.0;  // summed in catalog order: deterministic
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].failed) {
+      ++failures;
+      std::fprintf(stderr,
+                   "mfm_opt: %s: optimized netlist FAILED the end-to-end "
+                   "equivalence proof: %s\n",
+                   driver.jobs()[i].name.c_str(), results[i].error.c_str());
+    }
+    total_area_saved += results[i].area_saved;
   }
 
   char area[64];
-  std::snprintf(area, sizeof area, "%.3f", r.total_area_saved);
+  std::snprintf(area, sizeof area, "%.3f", total_area_saved);
   if (!sink.finish(std::string("\"total_area_saved_nand2\":") + area +
-                       ",\"failures\":" + std::to_string(r.failures),
+                       ",\"failures\":" + std::to_string(failures),
                    std::string("total area saved: ") + area + " NAND2\n"))
     return 2;
-  if (r.failures > 0) {
+  if (failures > 0) {
     std::fprintf(stderr,
                  "mfm_opt: %d unit(s) failed the end-to-end equivalence "
                  "proof\n",
-                 r.failures);
+                 failures);
     return 1;
   }
-  if (r.total_area_saved < r.cli.min_area_saved) {
+  if (total_area_saved < cli.min_area_saved) {
     std::fprintf(stderr,
                  "mfm_opt: total area saved %.3f NAND2 below "
                  "--min-area-saved=%.3f\n",
-                 r.total_area_saved, r.cli.min_area_saved);
+                 total_area_saved, cli.min_area_saved);
     return 1;
   }
   return 0;

@@ -1,18 +1,22 @@
 // mfm_sweep: signature-based SAT sweeping over every shipped generator
-// (netlist/sweep.h).
+// in the roster catalog (netlist/sweep.h, roster/roster.h).
 //
-//   mfm_sweep [--json] [--only=SUBSTR] [--rounds=N] [--seed=S]
+//   mfm_sweep [--json] [--only=LIST] [--rounds=N] [--seed=S]
 //             [--verify-vectors=N] [--min-total-removed=N] [--out=FILE]
+//             [--threads=N]
 //
-// Instantiates the 8x8 radix-16 teaching multiplier, the radix-4 and
-// radix-16 64-bit multipliers, the multi-format unit (baseline and with
-// the Sec. IV reduction, combinational build so the merged netlist can
-// be re-verified with check_equivalence) -- unpinned and under each
-// format's control pins, including the fp32x1 idle-upper-lane mode --
-// plus the single-format FP multipliers, adder, and reduction unit.
-// Each unit is swept, the merged netlist is re-verified against the
-// original under the same pins, and the gates/area removed are reported
-// per module with TechLib::lp45() pricing.
+// The unit set is the shared catalog: the 8x8 radix-16 teaching
+// multiplier, the radix-4 and radix-16 64-bit multipliers, the
+// multi-format unit (baseline and with the Sec. IV reduction,
+// combinational build so the merged netlist can be re-verified with
+// check_equivalence) -- unpinned and under each format's control pins,
+// including the fp32x1 idle-upper-lane mode -- plus the single-format
+// FP multipliers, adder, and reduction unit.  Units are swept in
+// parallel over --threads workers (the SAT/cosim stages are
+// embarrassingly parallel across units); each merged netlist is
+// re-verified against the original under the same pins, and the
+// gates/area removed are reported per module with TechLib::lp45()
+// pricing, in catalog order -- byte-identical at any thread count.
 //
 // Exit status is nonzero when any re-verification fails (a sweeper bug:
 // the merged netlist MUST be equivalent) or when the total number of
@@ -25,105 +29,50 @@
 #include <vector>
 
 #include "cli_util.h"
-#include "mf/fp_reduce.h"
-#include "mf/mf_unit.h"
-#include "mult/fp_adder.h"
-#include "mult/fp_multiplier.h"
-#include "mult/multiplier.h"
-#include "netlist/lint.h"
 #include "netlist/report.h"
 #include "netlist/sweep.h"
+#include "roster/roster.h"
 
 namespace {
 
-using mfm::netlist::Circuit;
 using mfm::netlist::SweepOptions;
 using mfm::netlist::SweepResult;
-using mfm::netlist::TernaryPin;
 
 struct CliOptions {
-  bool json = false;
-  std::string only;
+  mfm::cli::CommonOptions common;
   int rounds = 8;
-  std::uint64_t seed = 0x5EE9;
   int verify_vectors = 4000;
   long min_total_removed = 0;
-  std::string out;
 };
 
-struct Runner {
-  CliOptions cli;
-  mfm::netlist::ReportSink* sink = nullptr;
-  int failures = 0;
-  std::size_t total_removed = 0;
-
-  void run(const std::string& name, const Circuit& c,
-           std::vector<TernaryPin> pins) {
-    if (!cli.only.empty() && name.find(cli.only) == std::string::npos) return;
-    SweepOptions opt;
-    opt.pins = std::move(pins);
-    opt.signature_rounds = cli.rounds;
-    opt.seed = cli.seed;
-    opt.verify_vectors = cli.verify_vectors;
-    const SweepResult res = sweep_circuit(c, opt);
-    if (res.report.verify_ran && !res.report.verified) {
-      ++failures;
-      std::fprintf(stderr,
-                   "mfm_sweep: %s: merged netlist FAILED re-verification: "
-                   "%s\n",
-                   name.c_str(), res.report.counterexample.c_str());
-    }
-    total_removed += res.report.gates_removed();
-    sink->unit(cli.json ? sweep_report_json(res.report, name)
-                        : sweep_report_text(res.report, name));
-  }
+struct JobResult {
+  std::string rendered;
+  bool failed = false;
+  std::string error;  ///< re-verification counterexample, for stderr
+  std::size_t removed = 0;
 };
 
-void sweep_mf(Runner& r, const char* tag, bool with_reduction) {
-  // Combinational build: the merged netlist is re-verified with
-  // check_equivalence, which is combinational-only.  The sweep result
-  // transfers: the Fig. 5 build is the same logic with registers
-  // inserted at the stage boundaries.
-  mfm::mf::MfOptions build;
-  build.pipeline = mfm::mf::MfPipeline::Combinational;
-  build.with_reduction = with_reduction;
-  const mfm::mf::MfUnit unit = mfm::mf::build_mf_unit(build);
-  const Circuit& c = *unit.circuit;
-  const std::string base = std::string("mf") + tag;
-
-  using mfm::mf::Format;
-  using mfm::netlist::pin_port;
-  using mfm::netlist::pin_port_bits;
-
-  r.run(base, c, {});  // mode-independent merges only
-  for (const Format f : {Format::Int64, Format::Fp64, Format::Fp32Dual}) {
-    std::vector<TernaryPin> pins;
-    pin_port(c, "frmt", mfm::mf::frmt_bits(f), pins);
-    const char* fname = f == Format::Int64  ? "int64"
-                        : f == Format::Fp64 ? "fp64"
-                                            : "fp32x2";
-    r.run(base + "/" + fname, c, std::move(pins));
-  }
-  {
-    std::vector<TernaryPin> pins;
-    pin_port(c, "frmt", mfm::mf::frmt_bits(Format::Fp32Dual), pins);
-    pin_port_bits(c, "a", 32, 32, 0, pins);
-    pin_port_bits(c, "b", 32, 32, 0, pins);
-    r.run(base + "/fp32x1", c, std::move(pins));
-  }
+int usage() {
+  std::fprintf(stderr,
+               "usage: mfm_sweep %s [--rounds=N] [--verify-vectors=N] "
+               "[--min-total-removed=N]\n",
+               mfm::cli::common_usage(/*with_seed=*/true));
+  return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  Runner r;
+  CliOptions cli;
+  cli.common.seed = 0x5EE9;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json") {
-      r.cli.json = true;
-    } else if (arg.rfind("--only=", 0) == 0) {
-      r.cli.only = arg.substr(7);
-    } else if (arg.rfind("--rounds=", 0) == 0) {
+    switch (mfm::cli::parse_common("mfm_sweep", arg, cli.common)) {
+      case mfm::cli::ParseStatus::kMatched: continue;
+      case mfm::cli::ParseStatus::kError: return 2;
+      case mfm::cli::ParseStatus::kNoMatch: break;
+    }
+    if (arg.rfind("--rounds=", 0) == 0) {
       long v = 0;
       if (!mfm::cli::parse_long(arg.c_str() + 9, v) || v < 1 || v > 10'000) {
         std::fprintf(stderr,
@@ -132,13 +81,7 @@ int main(int argc, char** argv) {
                      arg.c_str() + 9);
         return 2;
       }
-      r.cli.rounds = static_cast<int>(v);
-    } else if (arg.rfind("--seed=", 0) == 0) {
-      if (!mfm::cli::parse_u64(arg.c_str() + 7, r.cli.seed)) {
-        std::fprintf(stderr, "mfm_sweep: bad --seed value '%s'\n",
-                     arg.c_str() + 7);
-        return 2;
-      }
+      cli.rounds = static_cast<int>(v);
     } else if (arg.rfind("--verify-vectors=", 0) == 0) {
       long v = 0;
       if (!mfm::cli::parse_long(arg.c_str() + 17, v) || v < 2 ||
@@ -149,85 +92,74 @@ int main(int argc, char** argv) {
                      arg.c_str() + 17);
         return 2;
       }
-      r.cli.verify_vectors = static_cast<int>(v);
+      cli.verify_vectors = static_cast<int>(v);
     } else if (arg.rfind("--min-total-removed=", 0) == 0) {
-      if (!mfm::cli::parse_long(arg.c_str() + 20, r.cli.min_total_removed) ||
-          r.cli.min_total_removed < 0) {
+      if (!mfm::cli::parse_long(arg.c_str() + 20, cli.min_total_removed) ||
+          cli.min_total_removed < 0) {
         std::fprintf(stderr,
                      "mfm_sweep: bad --min-total-removed value '%s' (need an "
                      "integer >= 0)\n",
                      arg.c_str() + 20);
         return 2;
       }
-    } else if (arg.rfind("--out=", 0) == 0) {
-      r.cli.out = arg.substr(6);
     } else {
-      std::fprintf(stderr,
-                   "usage: mfm_sweep [--json] [--only=SUBSTR] [--rounds=N] "
-                   "[--seed=S] [--verify-vectors=N] "
-                   "[--min-total-removed=N] [--out=FILE]\n");
-      return 2;
+      return usage();
     }
   }
 
-  mfm::netlist::ReportSink sink("mfm_sweep", r.cli.json, r.cli.out);
+  mfm::netlist::ReportSink sink("mfm_sweep", cli.common.json, cli.common.out);
   if (!sink.ok()) return 2;
-  r.sink = &sink;
 
-  {
-    mfm::mult::MultiplierOptions o;
-    o.n = 8;
-    o.g = 4;
-    const auto unit = mfm::mult::build_multiplier(o);
-    r.run("mult8", *unit.circuit, {});
-  }
-  {
-    const auto unit = mfm::mult::build_radix4_64();
-    r.run("radix4-64", *unit.circuit, {});
-  }
-  {
-    const auto unit = mfm::mult::build_radix16_64();
-    r.run("radix16-64", *unit.circuit, {});
-  }
-  sweep_mf(r, "", /*with_reduction=*/false);
-  sweep_mf(r, "-reduce", /*with_reduction=*/true);
-  {
-    mfm::mult::FpMultiplierOptions opt;
-    opt.format = mfm::fp::kBinary32;
-    const auto unit = mfm::mult::build_fp_multiplier(opt);
-    r.run("fpmul-b32", *unit.circuit, {});
-  }
-  {
-    mfm::mult::FpMultiplierOptions opt;
-    opt.format = mfm::fp::kBinary64;
-    const auto unit = mfm::mult::build_fp_multiplier(opt);
-    r.run("fpmul-b64", *unit.circuit, {});
-  }
-  {
-    const auto unit = mfm::mult::build_fp_adder({});
-    r.run("fpadd-b32", *unit.circuit, {});
-  }
-  {
-    const auto unit = mfm::mf::build_reduce_unit();
-    r.run("reduce64to32", *unit.circuit, {});
+  mfm::roster::RosterDriver driver(mfm::roster::BuildMode::kCombinational,
+                                   cli.common.only, cli.common.threads);
+  const std::vector<JobResult> results = driver.run<JobResult>(
+      sink, [&cli](const mfm::roster::JobContext& ctx) {
+        SweepOptions opt;
+        opt.pins = ctx.variant.pins;
+        opt.signature_rounds = cli.rounds;
+        opt.seed = cli.common.seed;
+        opt.verify_vectors = cli.verify_vectors;
+        const SweepResult res = sweep_circuit(*ctx.unit.circuit, opt);
+        JobResult r;
+        if (res.report.verify_ran && !res.report.verified) {
+          r.failed = true;
+          r.error = res.report.counterexample;
+        }
+        r.removed = res.report.gates_removed();
+        r.rendered = cli.common.json
+                         ? sweep_report_json(res.report, ctx.job.name)
+                         : sweep_report_text(res.report, ctx.job.name);
+        return r;
+      });
+
+  int failures = 0;
+  std::size_t total_removed = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].failed) {
+      ++failures;
+      std::fprintf(stderr,
+                   "mfm_sweep: %s: merged netlist FAILED re-verification: "
+                   "%s\n",
+                   driver.jobs()[i].name.c_str(), results[i].error.c_str());
+    }
+    total_removed += results[i].removed;
   }
 
-  if (!sink.finish("\"total_gates_removed\":" +
-                       std::to_string(r.total_removed) +
-                       ",\"failures\":" + std::to_string(r.failures),
-                   "total gates removed: " + std::to_string(r.total_removed) +
-                       "\n"))
+  if (!sink.finish(
+          "\"total_gates_removed\":" + std::to_string(total_removed) +
+              ",\"failures\":" + std::to_string(failures),
+          "total gates removed: " + std::to_string(total_removed) + "\n"))
     return 2;
-  if (r.failures > 0) {
+  if (failures > 0) {
     std::fprintf(stderr, "mfm_sweep: %d unit(s) failed re-verification\n",
-                 r.failures);
+                 failures);
     return 1;
   }
-  if (r.total_removed < static_cast<std::size_t>(r.cli.min_total_removed)) {
+  if (total_removed < static_cast<std::size_t>(cli.min_total_removed)) {
     std::fprintf(stderr,
                  "mfm_sweep: total gates removed %zu below "
                  "--min-total-removed=%ld\n",
-                 r.total_removed, r.cli.min_total_removed);
+                 total_removed, cli.min_total_removed);
     return 1;
   }
   return 0;
