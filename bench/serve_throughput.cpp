@@ -1,0 +1,197 @@
+// Serve throughput: the batched multiplication service vs scalar
+// simulation.
+//
+//   serve_throughput [--unit=NAME] [--ops=N] [--batch=N] [--threads=N]
+//                    [--min-speedup=X]
+//
+// Measures sustained multiplications/second on one roster unit three
+// ways: the scalar LevelSim baseline (one eval() per operand pair --
+// what every consumer did before the serve layer), and the
+// MultiplyService at 1, 2, 4, ... up to --threads workers.  A single
+// worker already packs 64 operand pairs per PackSim eval() pass, so
+// the single-thread speedup isolates the word-level packing win from
+// thread scaling; CI gates it with --min-speedup (the serve layer must
+// sustain >= 50x the scalar rate at --threads=1).  Thread scaling on
+// top of that is only visible on multi-core hosts.
+//
+// Exit status is nonzero when the single-worker speedup falls below
+// --min-speedup (default: report only).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/u128.h"
+#include "netlist/sim_level.h"
+#include "roster/roster.h"
+#include "serve/serve.h"
+
+using namespace mfm;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool parse_flag(const char* arg, const char* name, long& out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0) return false;
+  char* end = nullptr;
+  const long v = std::strtol(arg + n, &end, 10);
+  if (end == arg + n || *end != '\0' || v < 1) {
+    std::fprintf(stderr, "serve_throughput: bad value in '%s'\n", arg);
+    std::exit(2);
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string unit = "radix16-64";
+  long ops = 16384;
+  long batch = 256;
+  long max_threads = 4;
+  double min_speedup = -1.0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    long v = 0;
+    if (std::strncmp(arg, "--unit=", 7) == 0) {
+      unit = arg + 7;
+    } else if (parse_flag(arg, "--ops=", v)) {
+      ops = v;
+    } else if (parse_flag(arg, "--batch=", v)) {
+      batch = v;
+    } else if (parse_flag(arg, "--threads=", v)) {
+      max_threads = v;
+    } else if (std::strncmp(arg, "--min-speedup=", 14) == 0) {
+      char* end = nullptr;
+      min_speedup = std::strtod(arg + 14, &end);
+      if (end == arg + 14 || *end != '\0' || min_speedup <= 0.0) {
+        std::fprintf(stderr, "serve_throughput: bad value in '%s'\n", arg);
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: serve_throughput [--unit=NAME] [--ops=N] "
+                   "[--batch=N] [--threads=N] [--min-speedup=X]\n");
+      return 2;
+    }
+  }
+
+  bench::header("serve_throughput: batched multiplication service",
+                "methodology bench (serve/serve.h, 64-lane packing)");
+
+  roster::UnitCache cache;
+  const std::size_t spec = roster::spec_index(unit);
+  const roster::BuildMode mode = roster::BuildMode::kCombinational;
+  const roster::BuiltUnit& built = cache.unit(spec, mode);
+  const netlist::Circuit& c = *built.circuit;
+  const serve::OperandPorts io = serve::resolve_operand_ports(c);
+  const std::string out_port = c.out_ports().begin()->first;
+  const bool has_ctrl = !io.ctrl.empty();
+
+  std::mt19937_64 rng(0x5EBE);
+  std::vector<serve::Op> stream(static_cast<std::size_t>(ops));
+  for (serve::Op& op : stream) {
+    op.a = rng();
+    op.b = rng();
+    op.ctrl = has_ctrl ? rng() % 3 : 0;
+  }
+
+  // Scalar baseline: one LevelSim eval() per operand pair, time-boxed
+  // (the whole point is that this is slow).
+  u128 checksum = 0;
+  std::size_t scalar_n = 0;
+  double scalar_dt = 0.0;
+  {
+    netlist::LevelSim sim(c);
+    const auto t0 = std::chrono::steady_clock::now();
+    while ((scalar_dt = seconds_since(t0)) < 0.5 && scalar_n < stream.size()) {
+      const serve::Op& op = stream[scalar_n++];
+      sim.set_port(io.a, op.a);
+      if (!io.b.empty()) sim.set_port(io.b, op.b);
+      if (has_ctrl) sim.set_port(io.ctrl, op.ctrl);
+      sim.eval();
+      checksum ^= sim.read_port(out_port);
+    }
+    scalar_dt = seconds_since(t0);
+  }
+  const double scalar_rate = static_cast<double>(scalar_n) / scalar_dt;
+
+  bench::Table t;
+  t.row({"engine", "threads", "mults", "time [s]", "mult/s", "speedup"});
+  t.row({"LevelSim (scalar)", "1", std::to_string(scalar_n),
+         bench::fmt("%.2f", scalar_dt), bench::fmt("%.0f", scalar_rate),
+         "1.0"});
+
+  double speedup_t1 = 0.0;
+  for (long threads = 1; threads <= max_threads; threads *= 2) {
+    serve::ServiceOptions opt;
+    opt.threads = static_cast<int>(threads);
+    serve::MultiplyService service(cache, opt);
+
+    // Warm the per-worker simulators so the timed run measures serving,
+    // not the one-time circuit compile.
+    service
+        .submit(serve::Request{spec, "", {stream[0]}})
+        .get();
+
+    std::vector<std::future<serve::BatchResult>> results;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t base = 0; base < stream.size();
+         base += static_cast<std::size_t>(batch)) {
+      const std::size_t n = std::min<std::size_t>(
+          static_cast<std::size_t>(batch), stream.size() - base);
+      serve::Request req;
+      req.spec = spec;
+      req.ops.assign(stream.begin() + static_cast<std::ptrdiff_t>(base),
+                     stream.begin() + static_cast<std::ptrdiff_t>(base + n));
+      results.push_back(service.submit(std::move(req)));
+    }
+    for (auto& f : results) {
+      const serve::BatchResult r = f.get();
+      if (!r.ok()) {
+        std::fprintf(stderr, "serve_throughput: request failed: %s\n",
+                     r.error.c_str());
+        return 1;
+      }
+      checksum ^= r.port(out_port).back();
+    }
+    const double dt = seconds_since(t0);
+    service.shutdown();
+
+    const double rate = static_cast<double>(stream.size()) / dt;
+    const double speedup = rate / scalar_rate;
+    if (threads == 1) speedup_t1 = speedup;
+    t.row({"MultiplyService", std::to_string(threads),
+           std::to_string(stream.size()), bench::fmt("%.2f", dt),
+           bench::fmt("%.0f", rate), bench::fmt("%.1f", speedup)});
+  }
+
+  t.print();
+  std::printf("\nunit: %s (combinational), batch %ld ops/request\n",
+              unit.c_str(), batch);
+  std::printf("checksum: %s\n", to_hex(checksum).c_str());
+  std::printf(
+      "single-worker speedup is the 64-lane packing win; thread scaling\n"
+      "shows only on multi-core hosts.\n");
+
+  if (min_speedup > 0.0 && speedup_t1 < min_speedup) {
+    std::fprintf(stderr,
+                 "serve_throughput: single-worker speedup %.1fx below "
+                 "--min-speedup=%.1f\n",
+                 speedup_t1, min_speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+# Fail-soft gate: force one roster job to throw (the MFM_ROSTER_FAIL
+# injection hook, roster/roster.h) and require the tool to (a) exit
+# nonzero naming the failed unit on stderr, while (b) still writing
+# valid JSON holding every other unit's report plus a well-formed
+# {"unit":...,"error":...} record in the failed job's slot.  Invoked by
+# ctest (see tests/CMakeLists.txt) and mirrored in CI.
+#
+#   cmake -DTOOL=<path> -DFAIL=<needle> -DNJOBS=<count> \
+#         -DOUT_DIR=<dir> -DTAG=<name> [-DEXTRA="<args>"] \
+#         -P roster_failsoft.cmake
+if(NOT DEFINED TOOL OR NOT DEFINED FAIL OR NOT DEFINED NJOBS
+   OR NOT DEFINED OUT_DIR OR NOT DEFINED TAG)
+  message(FATAL_ERROR "roster_failsoft.cmake needs -DTOOL=, -DFAIL=, "
+                      "-DNJOBS=, -DOUT_DIR=, -DTAG=")
+endif()
+separate_arguments(EXTRA_ARGS UNIX_COMMAND "${EXTRA}")
+
+set(out "${OUT_DIR}/${TAG}.failsoft.json")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env "MFM_ROSTER_FAIL=${FAIL}"
+          "${TOOL}" --json ${EXTRA_ARGS} "--out=${out}"
+  RESULT_VARIABLE rc
+  ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR
+          "${TAG}: ${TOOL} exited 0 although MFM_ROSTER_FAIL=${FAIL} "
+          "forced a job to throw -- fail-soft must still exit nonzero")
+endif()
+if(NOT err MATCHES "${FAIL}")
+  message(FATAL_ERROR
+          "${TAG}: stderr does not name the failed unit '${FAIL}':\n${err}")
+endif()
+
+file(READ "${out}" content)
+# Per-unit records lead with the tool's record key ("title" in the lint
+# report, "unit" in mfm_serve); error records always lead with "unit".
+string(REGEX MATCHALL "\"(title|unit)\":" unit_keys "${content}")
+list(LENGTH unit_keys n_units)
+if(NOT n_units EQUAL ${NJOBS})
+  message(FATAL_ERROR
+          "${TAG}: expected ${NJOBS} per-unit records in ${out}, found "
+          "${n_units} -- a throwing job must not cost sibling reports")
+endif()
+if(NOT content MATCHES "\"error\":\"injected failure")
+  message(FATAL_ERROR
+          "${TAG}: ${out} holds no injected-failure error record")
+endif()
+message(STATUS
+        "${TAG}: nonzero exit, ${n_units} records incl. the error entry")

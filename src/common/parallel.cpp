@@ -14,20 +14,33 @@ int hardware_threads() {
   return n == 0 ? 1 : static_cast<int>(n);
 }
 
-void parallel_for(int n, int threads, const std::function<void(int)>& fn) {
-  if (n <= 0) return;
+int parallel_for(int n, int threads, const std::function<void(int)>& fn,
+                 int* skipped_out) {
+  if (skipped_out) *skipped_out = 0;
+  if (n <= 0) return 0;
   if (threads <= 1 || n == 1) {
-    for (int i = 0; i < n; ++i) fn(i);
-    return;
+    for (int i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        // Indices after the throwing one never run -- same drain
+        // semantics as the threaded path, same skip accounting.
+        if (skipped_out) *skipped_out = n - i - 1;
+        throw;
+      }
+    }
+    return 0;
   }
 
   std::atomic<int> next{0};
+  std::atomic<int> attempted{0};  // indices whose fn(i) was entered
   std::exception_ptr first_error;
   std::mutex error_mu;
   auto worker = [&] {
     for (;;) {
       const int i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
+      attempted.fetch_add(1, std::memory_order_relaxed);
       try {
         fn(i);
       } catch (...) {
@@ -46,7 +59,10 @@ void parallel_for(int n, int threads, const std::function<void(int)>& fn) {
   for (int t = 1; t < workers; ++t) pool.emplace_back(worker);
   worker();  // the calling thread participates
   for (std::thread& t : pool) t.join();
+  const int skipped = n - attempted.load(std::memory_order_relaxed);
+  if (skipped_out) *skipped_out = skipped;
   if (first_error) std::rethrow_exception(first_error);
+  return skipped;
 }
 
 }  // namespace mfm::common

@@ -1,4 +1,5 @@
-// Minimal threading utilities for the Monte-Carlo measurement engine.
+// Minimal threading utilities for the Monte-Carlo measurement engine
+// and the roster/serve thread pools.
 //
 // parallel_for() fans a fixed index range out over a small worker pool.
 // Work items are claimed through an atomic counter, so scheduling is
@@ -19,8 +20,27 @@ int hardware_threads();
 /// Runs fn(i) for every i in [0, n) using up to @p threads workers.
 /// threads <= 1 (or n <= 1) runs inline on the calling thread with no
 /// thread machinery at all -- the legacy sequential path.  At most n
-/// threads are spawned.  If any invocation throws, the first exception is
-/// rethrown on the calling thread after all workers have stopped.
-void parallel_for(int n, int threads, const std::function<void(int)>& fn);
+/// threads are spawned.
+///
+/// Error contract (fail-total -- know what you are signing up for): if
+/// any invocation throws, the remaining *unclaimed* indices are drained
+/// so every worker exits promptly, the pool joins, and the FIRST
+/// exception caught is rethrown on the calling thread.  Any further
+/// exceptions are discarded, and the drained indices are silently
+/// skipped -- their fn(i) never ran and whatever output slot they would
+/// have filled is left untouched.  The count of skipped indices is
+/// written to @p skipped_out (when non-null) *before* the rethrow, so a
+/// caller that catches can tell "ran clean" (*skipped_out == 0, no
+/// throw) from "aborted early, results are partial".  On a clean run the
+/// function also returns that count (always 0); the return value is
+/// unreachable on the throwing path, which is why the out-parameter
+/// exists.
+///
+/// Callers that must not lose sibling work on one failure -- a tool run
+/// where 1 of 17 jobs throwing should not discard the other 16 -- must
+/// catch inside fn and record the failure per index instead of letting
+/// it propagate; that is what roster::RosterDriver does (roster.h).
+int parallel_for(int n, int threads, const std::function<void(int)>& fn,
+                 int* skipped_out = nullptr);
 
 }  // namespace mfm::common

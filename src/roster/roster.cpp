@@ -1,5 +1,6 @@
 #include "roster/roster.h"
 
+#include <cstdlib>
 #include <stdexcept>
 
 namespace mfm::roster {
@@ -60,6 +61,29 @@ std::vector<RosterJob> plan_jobs(const std::string& only) {
     }
   }
   return jobs;
+}
+
+std::string render_job_error(const std::string& job_name,
+                             const std::string& message, bool json) {
+  if (!json) return job_name + ": ERROR: " + message;
+  std::string out = "{\"unit\":\"";
+  netlist::json_escape_into(out, job_name);
+  out += "\",\"error\":\"";
+  netlist::json_escape_into(out, message);
+  out += "\"}";
+  return out;
+}
+
+const char* injected_failure_needle() {
+  const char* v = std::getenv("MFM_ROSTER_FAIL");
+  return v ? v : "";
+}
+
+std::vector<std::string> RosterDriver::failed_jobs() const {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < errors_.size(); ++i)
+    if (!errors_[i].empty()) names.push_back(jobs_[i].name);
+  return names;
 }
 
 const PinVariant& find_variant(const BuiltUnit& unit, std::string_view name) {

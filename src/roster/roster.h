@@ -36,6 +36,17 @@
 //                 from the JobContext plus fixed options (own seeds, no
 //                 shared mutable state); that contract is what makes
 //                 the determinism tests hold.
+//
+// Failure contract (fail-soft): a job body that throws does NOT abort
+// the run.  The driver catches the exception inside the worker lambda
+// (parallel_for's own error path is fail-total: it drains the queue,
+// discards all buffered results, and rethrows -- see common/parallel.h),
+// records the message as that job's error, and still emits every other
+// job's report post-barrier in catalog order, plus a rendered
+// {"unit":...,"error":...} record (or "<name>: ERROR: ..." in text
+// mode) in the failed job's slot.  Tools inspect failed_jobs() after
+// run() and exit nonzero naming the failed unit(s), so --out=FILE
+// always holds the 16 good reports even when the 17th job dies.
 #pragma once
 
 #include <atomic>
@@ -43,6 +54,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -170,12 +182,26 @@ struct JobContext {
   }
 };
 
+/// Renders a per-unit error record in the sink's framing: a JSON object
+/// `{"unit":...,"error":...}` or a `"<name>: ERROR: <msg>"` text block.
+std::string render_job_error(const std::string& job_name,
+                             const std::string& message, bool json);
+
+/// Job names matching the MFM_ROSTER_FAIL test hook ("" when unset):
+/// run() throws an injected std::runtime_error for any job whose name
+/// contains the variable's value, exercising the fail-soft path from
+/// the real tools (CI's forced-throw gate).
+const char* injected_failure_needle();
+
 /// Plans the (filtered) jobs, fans them over @p threads workers, and
 /// emits each result's `rendered` string to the sink in catalog order.
 class RosterDriver {
  public:
-  RosterDriver(BuildMode mode, const std::string& only, int threads)
-      : mode_(mode), threads_(threads), jobs_(plan_jobs(only)) {}
+  /// @p json selects the error-record rendering of run(); it must match
+  /// the sink's mode so a failed job's slot stays well-formed output.
+  RosterDriver(BuildMode mode, const std::string& only, int threads,
+               bool json = false)
+      : mode_(mode), threads_(threads), json_(json), jobs_(plan_jobs(only)) {}
 
   const std::vector<RosterJob>& jobs() const { return jobs_; }
   UnitCache& cache() { return cache_; }
@@ -185,26 +211,61 @@ class RosterDriver {
   /// catalog order for tool-specific aggregation (failure counts,
   /// summary tables, float sums -- summed in this order so even the
   /// floating-point totals are thread-count-independent).
+  ///
+  /// Fail-soft: a throwing job body is caught here, inside the worker
+  /// lambda -- never propagated into parallel_for, whose drain-on-error
+  /// path would abandon the not-yet-claimed jobs and discard every
+  /// buffered report (see common/parallel.h).  The failed job's slot in
+  /// the returned vector stays default-constructed; its sink record is
+  /// a rendered error entry, and its message is retained in
+  /// job_errors().  Aggregation loops must skip indices with a
+  /// non-empty error.
   template <typename Result, typename Fn>
   std::vector<Result> run(netlist::ReportSink& sink, Fn&& fn) {
     std::vector<Result> results(jobs_.size());
+    errors_.assign(jobs_.size(), std::string());
+    const std::string fail_needle = injected_failure_needle();
     common::parallel_for(
         static_cast<int>(jobs_.size()), threads_, [&](int i) {
           const RosterJob& job = jobs_[static_cast<std::size_t>(i)];
-          const UnitSpec& spec = catalog()[job.spec];
-          const BuiltUnit& unit = cache_.unit(job.spec, mode_);
-          const JobContext ctx{job,      spec,  unit, unit.variants[job.variant],
-                               mode_,    cache_};
-          results[static_cast<std::size_t>(i)] = fn(ctx);
+          try {
+            if (!fail_needle.empty() &&
+                job.name.find(fail_needle) != std::string::npos)
+              throw std::runtime_error(
+                  "injected failure (MFM_ROSTER_FAIL matched '" +
+                  fail_needle + "')");
+            const UnitSpec& spec = catalog()[job.spec];
+            const BuiltUnit& unit = cache_.unit(job.spec, mode_);
+            const JobContext ctx{job,   spec,  unit,
+                                 unit.variants[job.variant], mode_, cache_};
+            results[static_cast<std::size_t>(i)] = fn(ctx);
+          } catch (const std::exception& e) {
+            errors_[static_cast<std::size_t>(i)] = e.what();
+          } catch (...) {
+            errors_[static_cast<std::size_t>(i)] = "unknown exception";
+          }
         });
-    for (const Result& r : results) sink.unit(r.rendered);
+    for (std::size_t i = 0; i < results.size(); ++i)
+      sink.unit(errors_[i].empty()
+                    ? results[i].rendered
+                    : render_job_error(jobs_[i].name, errors_[i], json_));
     return results;
   }
+
+  /// Per-job error messages from the last run() ("" = job succeeded),
+  /// parallel to jobs().
+  const std::vector<std::string>& job_errors() const { return errors_; }
+
+  /// Names of the jobs whose body threw during the last run(), in
+  /// catalog order.  Tools print these and exit nonzero when non-empty.
+  std::vector<std::string> failed_jobs() const;
 
  private:
   BuildMode mode_;
   int threads_;
+  bool json_;
   std::vector<RosterJob> jobs_;
+  std::vector<std::string> errors_;
   UnitCache cache_;
 };
 

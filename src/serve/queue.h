@@ -1,0 +1,117 @@
+// Bounded MPMC queue: the backpressure primitive of the multiply
+// service (serve/serve.h).
+//
+// Any number of producers and consumers share one mutex-guarded deque
+// with a hard capacity.  Producers choose their backpressure behaviour
+// per call: push() blocks until a slot frees (or the queue closes),
+// try_push() refuses immediately when full.  Consumers block in pop()
+// until an item or close-and-drained.  close() is the graceful-shutdown
+// edge: producers are refused from that point on, but consumers keep
+// draining whatever was accepted before -- accepted work is never
+// dropped, which is what lets the service promise every submitted
+// request a result.
+//
+// The high-water mark is sampled after every successful push; it is the
+// "how far behind did consumers fall" observability number the service
+// stats expose.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace mfm::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// Capacity 0 is clamped to 1 (a zero-slot queue could never accept).
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until a slot is free, then enqueues.  Returns false when
+  /// the queue is closed before a slot frees; @p item is moved from
+  /// only on success, so a refused caller still owns it.
+  bool push(T& item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    if (items_.size() > high_water_) high_water_ = items_.size();
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking enqueue: returns false when full or closed.  @p item
+  /// is moved from only on success, so a refused caller still owns it.
+  bool try_push(T& item) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+      if (items_.size() > high_water_) high_water_ = items_.size();
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (true) or the queue is closed
+  /// AND fully drained (false).  Items accepted before close() are
+  /// still delivered.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;  // closed and drained
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Refuses all future pushes and wakes every blocked producer and
+  /// consumer.  Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Deepest the queue has ever been (sampled after each push).
+  std::size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  std::size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace mfm::serve

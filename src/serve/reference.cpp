@@ -1,0 +1,156 @@
+#include "serve/reference.h"
+
+#include <cstdio>
+#include <optional>
+#include <stdexcept>
+
+#include "fp/format.h"
+#include "mf/fp_reduce.h"
+#include "mf/mf_model.h"
+#include "mult/fp_adder.h"
+#include "mult/fp_multiplier.h"
+#include "roster/roster.h"
+
+namespace mfm::serve {
+
+namespace {
+
+constexpr u128 kMask1 = 1;
+constexpr u128 kMask16 = 0xFFFF;
+constexpr u128 kMask32 = 0xFFFFFFFFu;
+constexpr u128 kMask64 = ~std::uint64_t{0};
+constexpr u128 kMask128 = ~static_cast<u128>(0);
+
+/// The mf format an op runs under: the variant's pinned format, or the
+/// op's ctrl word for the unpinned variant.
+mf::Format mf_format(const std::string& variant, const Op& op) {
+  if (variant.empty()) {
+    switch (op.ctrl & 3) {
+      case 0: return mf::Format::Int64;
+      case 1: return mf::Format::Fp64;
+      case 2: return mf::Format::Fp32Dual;
+      default:
+        throw std::invalid_argument(
+            "reference_outputs: un-modelled mf frmt encoding 3");
+    }
+  }
+  if (variant == "int64") return mf::Format::Int64;
+  if (variant == "fp64") return mf::Format::Fp64;
+  if (variant == "fp32x2" || variant == "fp32x1") return mf::Format::Fp32Dual;
+  throw std::out_of_range("reference_outputs: unknown mf variant '" + variant +
+                          "'");
+}
+
+std::vector<Expected> mf_outputs(const std::string& variant, const Op& op,
+                                 bool with_reduction) {
+  const mf::Format fmt = mf_format(variant, op);
+  std::uint64_t a = op.a;
+  std::uint64_t b = op.b;
+  if (variant == "fp32x1") {
+    // The idle-upper-lane pins zero the operands' high words.
+    a &= 0xFFFFFFFFu;
+    b &= 0xFFFFFFFFu;
+  }
+
+  std::vector<Expected> out;
+  if (with_reduction && fmt == mf::Format::Fp64) {
+    const std::optional<std::uint32_t> ra = mf::reduce64to32(a);
+    const std::optional<std::uint32_t> rb = mf::reduce64to32(b);
+    const bool both = ra.has_value() && rb.has_value();
+    out.push_back({"reduced", both ? 1 : 0, kMask1});
+    if (both) {
+      // The op was issued on the lower binary32 lane; PH's upper bits
+      // and PL are datapath-dependent, so only the low word is pinned.
+      out.push_back({"ph", mf::fp32_mul(*ra, *rb), kMask32});
+    } else {
+      out.push_back({"ph", mf::fp64_mul(a, b), kMask64});
+      out.push_back({"pl", 0, kMask64});
+    }
+    return out;
+  }
+
+  const mf::Ports p = mf::execute(fmt, a, b);
+  out.push_back({"ph", p.ph, kMask64});
+  out.push_back({"pl", p.pl, kMask64});
+  if (with_reduction) out.push_back({"reduced", 0, kMask1});
+  return out;
+}
+
+}  // namespace
+
+std::vector<Expected> reference_outputs(std::size_t spec,
+                                        const std::string& variant,
+                                        const Op& op) {
+  const auto& specs = roster::catalog();
+  if (spec >= specs.size())
+    throw std::out_of_range("reference_outputs: unknown spec index " +
+                            std::to_string(spec));
+  const std::string& name = specs[spec].name;
+
+  if (name == "mf") return mf_outputs(variant, op, /*with_reduction=*/false);
+  if (name == "mf-reduce")
+    return mf_outputs(variant, op, /*with_reduction=*/true);
+  if (name == "mult8") {
+    const std::uint64_t p = (op.a & 0xFF) * (op.b & 0xFF);
+    return {{"p", p, kMask16}};
+  }
+  if (name == "radix4-64" || name == "radix16-64")
+    return {{"p", mf::int64_mul(op.a, op.b), kMask128}};
+  if (name == "fpmul-b32") {
+    const u128 p =
+        mult::fp_multiplier_model(op.a & 0xFFFFFFFFu, op.b & 0xFFFFFFFFu,
+                                  fp::kBinary32, mf::MfRounding::PaperTiesUp);
+    return {{"p", p, kMask32}};
+  }
+  if (name == "fpmul-b64") {
+    const u128 p = mult::fp_multiplier_model(op.a, op.b, fp::kBinary64,
+                                             mf::MfRounding::PaperTiesUp);
+    return {{"p", p, kMask64}};
+  }
+  if (name == "fpadd-b32") {
+    const u128 s = mult::fp_adder_model(op.a & 0xFFFFFFFFu,
+                                        op.b & 0xFFFFFFFFu, fp::kBinary32);
+    return {{"s", s, kMask32}};
+  }
+  if (name == "reduce64to32") {
+    const std::optional<std::uint32_t> r = mf::reduce64to32(op.a);
+    std::vector<Expected> out;
+    out.push_back({"reduce", r.has_value() ? 1 : 0, kMask1});
+    // out32 is only defined when the reduce flag is high.
+    if (r.has_value()) out.push_back({"out32", *r, kMask32});
+    return out;
+  }
+  throw std::out_of_range("reference_outputs: no reference model for unit '" +
+                          name + "'");
+}
+
+std::string check_result(std::size_t spec, const std::string& variant,
+                         const std::vector<Op>& ops, const BatchResult& got) {
+  if (!got.ok()) return "request failed: " + got.error;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    for (const Expected& e : reference_outputs(spec, variant, ops[i])) {
+      const std::vector<u128>& values = got.port(e.port);
+      if (values.size() != ops.size())
+        return "port '" + e.port + "' returned " +
+               std::to_string(values.size()) + " lanes for " +
+               std::to_string(ops.size()) + " ops";
+      const u128 g = values[i] & e.mask;
+      const u128 w = e.value & e.mask;
+      if (g != w) {
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "op %zu port '%s': got %016llx_%016llx want "
+                      "%016llx_%016llx",
+                      i, e.port.c_str(),
+                      static_cast<unsigned long long>(hi64(g)),
+                      static_cast<unsigned long long>(lo64(g)),
+                      static_cast<unsigned long long>(hi64(w)),
+                      static_cast<unsigned long long>(lo64(w)));
+        return buf;
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace mfm::serve

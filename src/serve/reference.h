@@ -1,0 +1,51 @@
+// Word-level reference answers for served batches: what every roster
+// unit's output ports must read for one Op, from the C models the
+// netlists are verified against elsewhere (mf/mf_model.h,
+// mult/fp_multiplier.h, mult/fp_adder.h, mf/fp_reduce.h).
+//
+// mfm_serve and the serve tests drive random operand batches through
+// the MultiplyService and diff every lane against these expectations,
+// so the whole pipeline -- queue, packing, PackSim eval, unpacking,
+// masking -- is checked end to end against independent arithmetic.
+//
+// Expectations are masked: a port is only compared on the bits the
+// model pins down (e.g. the mf-reduce unit's PH holds the binary32
+// product in its low 32 bits when the reduction fires; the upper bits
+// are datapath-dependent and skipped), and ports with no expectation
+// (mf-reduce PL on a reduced op) are not compared at all.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/u128.h"
+#include "serve/serve.h"
+
+namespace mfm::serve {
+
+/// One masked output-port expectation: (got & mask) must equal
+/// (value & mask).
+struct Expected {
+  std::string port;
+  u128 value = 0;
+  u128 mask = 0;
+};
+
+/// The expected outputs of one op on catalog unit @p spec under pin
+/// variant @p variant ("" = unpinned: the op's ctrl word selects the
+/// format on control-ported units).  Throws std::out_of_range on an
+/// unknown spec and std::invalid_argument on an un-modelled ctrl
+/// encoding (mf frmt == 3).
+std::vector<Expected> reference_outputs(std::size_t spec,
+                                        const std::string& variant,
+                                        const Op& op);
+
+/// Diffs a BatchResult against the reference, op by op.  Returns "" on
+/// a full match, else a one-line description of the first mismatch
+/// (op index, port, got/want).  A failed result (error set) is itself
+/// a mismatch.
+std::string check_result(std::size_t spec, const std::string& variant,
+                         const std::vector<Op>& ops, const BatchResult& got);
+
+}  // namespace mfm::serve

@@ -1,0 +1,203 @@
+// MultiplyService: the batched multiplication farm over the roster
+// (ROADMAP "production simulation farm").
+//
+// Callers submit (unit, pin-variant, operand batch) requests; a worker
+// pool drains them from a bounded MPMC queue (serve/queue.h).  Each
+// worker owns a persistent PackSim per unit it has served, built over
+// the shared read-only UnitCache compilation -- N workers serving the
+// same unit cost exactly one circuit build and one compile, and zero
+// simulator re-construction per request.  Operands are transposed into
+// 64-lane words (one op per lane), so one eval() pass multiplies 64
+// operand pairs; partial batches are zero-padded and the padding lanes
+// are masked out of the result.  That word-level packing is where the
+// throughput comes from: the serve bench gates >= 50x the scalar
+// LevelSim multiplication rate on a single worker.
+//
+// Delivery is asynchronous: submit() returns a std::future, or
+// submit() with a callback runs it on the worker thread (then still
+// resolves the future).  Backpressure is the caller's choice --
+// submit() blocks while the queue is at capacity, try_submit() refuses
+// immediately.  shutdown() closes the queue, drains every accepted
+// request, and joins the pool; requests accepted before shutdown are
+// always answered.
+//
+// Failure contract (fail-soft, same theme as roster::RosterDriver): a
+// request that cannot be served -- unknown spec index, unknown variant,
+// operand port mismatch -- resolves its future with BatchResult::error
+// set.  No exception ever crosses a thread boundary; futures never
+// carry exceptions.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/u128.h"
+#include "netlist/circuit.h"
+#include "roster/roster.h"
+#include "serve/queue.h"
+
+namespace mfm::serve {
+
+/// One multiplication operand pair (plus the control word, driven onto
+/// the unit's control port when it has one -- the mf units' 2-bit
+/// `frmt`).  Operand words wider than the unit's port are truncated to
+/// the port width by the lane packing.
+struct Op {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t ctrl = 0;
+};
+
+/// All lanes of one output port, in op order (values[i] is op i's
+/// reading; padding lanes are never exposed).
+struct PortBatch {
+  std::string port;
+  std::vector<u128> values;
+};
+
+/// The answer to one Request.  On success `ports` holds every output
+/// port of the unit, sorted by port name; on failure `error` is
+/// non-empty and `ports` is empty.
+struct BatchResult {
+  std::string error;
+  std::vector<PortBatch> ports;
+
+  bool ok() const { return error.empty(); }
+  /// The value vector of a named output port; throws std::out_of_range
+  /// when absent (failed result or no such port).
+  const std::vector<u128>& port(std::string_view name) const;
+};
+
+/// One job: a batch of operand pairs against one (spec, variant) of the
+/// roster catalog.  `variant` names a PinVariant of the unit ("" =
+/// unpinned); its pins are applied on top of the packed operands, so a
+/// pinned variant's pins win over the ops' ctrl/operand bits, exactly
+/// like the roster tools.
+struct Request {
+  std::size_t spec = 0;
+  std::string variant;
+  std::vector<Op> ops;
+};
+
+/// The operand-port naming conventions of the roster units, resolved by
+/// circuit introspection: ("a", "b") for the mf/fp units, ("x", "y")
+/// for the integer multipliers, ("in64", unused) for the reduction
+/// unit; `ctrl` is "frmt" when the unit has a format port, else "".
+struct OperandPorts {
+  std::string a;
+  std::string b;     ///< "" when the unit is single-operand
+  std::string ctrl;  ///< "" when the unit has no control port
+};
+OperandPorts resolve_operand_ports(const netlist::Circuit& c);
+
+struct ServiceOptions {
+  int threads = 0;  ///< worker count; <= 0 selects hardware_threads()
+  std::size_t queue_capacity = 64;
+  /// Build requested from the UnitCache.  Combinational (the default)
+  /// answers a batch in one eval() pass; pipelined builds are stepped
+  /// through their latency with inputs held.
+  roster::BuildMode mode = roster::BuildMode::kCombinational;
+  std::string work_label = "mults";  ///< stats unit ("mults",
+                                     ///< "faults*vectors", ...)
+};
+
+/// Service counters.  Everything in json(/*with_rates=*/false) is a
+/// pure function of the submitted requests -- byte-identical at any
+/// worker count, which is what the serve determinism gate diffs.  The
+/// timing-dependent numbers (rates, queue high-water, thread count) are
+/// only rendered with with_rates=true or in text().
+struct ServiceStats {
+  std::string work_label;
+  std::uint64_t work = 0;      ///< operations served (label above)
+  std::uint64_t requests = 0;  ///< requests answered OK
+  std::uint64_t failed = 0;    ///< requests answered with an error
+  std::uint64_t batches = 0;   ///< 64-lane eval passes
+  std::uint64_t rejected = 0;  ///< try_submit refusals + post-shutdown
+  std::size_t queue_high_water = 0;
+  int threads = 0;
+  double elapsed_s = 0.0;
+  /// Per-unit batch counts, catalog order, zero entries omitted.
+  std::vector<std::pair<std::string, std::uint64_t>> unit_batches;
+
+  double per_second() const { return elapsed_s > 0 ? work / elapsed_s : 0.0; }
+  /// `{"label":...,"work":...,...,"units":{...}}`; rates/threads/queue
+  /// depth only when @p with_rates.
+  std::string json(bool with_rates = false) const;
+  std::string text() const;
+};
+
+class MultiplyService {
+ public:
+  /// Starts the worker pool immediately.  @p cache must outlive the
+  /// service; its compilations are shared read-only across workers.
+  explicit MultiplyService(roster::UnitCache& cache,
+                           ServiceOptions options = {});
+  ~MultiplyService();  ///< shutdown()
+  MultiplyService(const MultiplyService&) = delete;
+  MultiplyService& operator=(const MultiplyService&) = delete;
+
+  /// Blocking enqueue: waits while the queue is at capacity.  After
+  /// shutdown() the future resolves immediately with an error result.
+  std::future<BatchResult> submit(Request req);
+  /// submit() plus a completion callback run on the worker thread
+  /// (before the future resolves).  Callbacks must not throw; a thrown
+  /// exception is swallowed.
+  std::future<BatchResult> submit(Request req,
+                                  std::function<void(const BatchResult&)> cb);
+  /// Non-blocking enqueue: returns false (and counts a rejection)
+  /// when the queue is full or the service is shut down; @p out is
+  /// untouched on refusal.
+  bool try_submit(Request req, std::future<BatchResult>& out);
+
+  /// Closes the queue, answers every accepted request, joins the pool.
+  /// Idempotent and safe to call concurrently.
+  void shutdown();
+
+  int threads() const { return threads_; }
+  std::size_t queue_depth() const { return queue_.size(); }
+  ServiceStats stats() const;
+
+ private:
+  struct Job {
+    Request req;
+    std::promise<BatchResult> promise;
+    std::function<void(const BatchResult&)> callback;
+  };
+  struct UnitSim;  // per-worker persistent PackSim over one unit
+
+  void worker_loop();
+  BatchResult process(const Request& req,
+                      std::map<std::size_t, UnitSim>& sims);
+
+  roster::UnitCache& cache_;
+  const ServiceOptions opt_;
+  const int threads_;
+  BoundedQueue<Job> queue_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<std::uint64_t> work_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::unique_ptr<std::atomic<std::uint64_t>[]> unit_batches_;
+
+  mutable std::mutex lifecycle_mu_;  // guards shutdown + the clock below
+  bool stopped_ = false;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point stop_;
+};
+
+}  // namespace mfm::serve

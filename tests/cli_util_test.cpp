@@ -98,6 +98,24 @@ TEST(CliCommon, ThreadsAcceptsRangeRejectsGarbage) {
   EXPECT_EQ(o.threads, kMaxThreads);
 }
 
+TEST(CliCommon, ThreadsAutoMapsToHardwareThreads) {
+  CommonOptions o;
+  EXPECT_EQ(parse_common("t", "--threads=auto", o), ParseStatus::kMatched);
+  const int expected = common::hardware_threads() > kMaxThreads
+                           ? kMaxThreads
+                           : common::hardware_threads();
+  EXPECT_EQ(o.threads, expected);
+  EXPECT_GE(o.threads, 1);
+  EXPECT_LE(o.threads, kMaxThreads);
+  // "auto" is a whole-word keyword, not a prefix family: every
+  // near-miss is a strict-parse error, and the good value sticks.
+  EXPECT_EQ(parse_common("t", "--threads=aut", o), ParseStatus::kError);
+  EXPECT_EQ(parse_common("t", "--threads=auto1", o), ParseStatus::kError);
+  EXPECT_EQ(parse_common("t", "--threads=AUTO", o), ParseStatus::kError);
+  EXPECT_EQ(parse_common("t", "--threads=", o), ParseStatus::kError);
+  EXPECT_EQ(o.threads, expected);
+}
+
 TEST(CliCommon, UsageFragmentMentionsEveryCommonOption) {
   const std::string with_seed = common_usage(true);
   for (const char* opt : {"--json", "--only", "--out", "--seed", "--threads"})

@@ -162,6 +162,69 @@ TEST(ParallelFor, PropagatesWorkerExceptions) {
   }
 }
 
+TEST(ParallelFor, InlinePathReportsSkippedIndicesBeforeRethrow) {
+  // threads=1 takes the sequential path: a throw at index i drains the
+  // n-i-1 indices after it, and the count lands in skipped_out before
+  // the exception reaches the caller.
+  int skipped = -1;
+  EXPECT_THROW(common::parallel_for(
+                   16, 1,
+                   [&](int i) {
+                     if (i == 7) throw std::runtime_error("boom");
+                   },
+                   &skipped),
+               std::runtime_error);
+  EXPECT_EQ(skipped, 8);
+
+  // Clean runs report zero through both channels.
+  skipped = -1;
+  EXPECT_EQ(common::parallel_for(16, 1, [](int) {}, &skipped), 0);
+  EXPECT_EQ(skipped, 0);
+  skipped = -1;
+  EXPECT_EQ(common::parallel_for(0, 1, [](int) {}, &skipped), 0);
+  EXPECT_EQ(skipped, 0);
+}
+
+TEST(ParallelFor, ThreadedPathDrainsAndAccountsForSkippedIndices) {
+  // Threaded drain-on-error: the first exception is rethrown, the pool
+  // joins cleanly, and attempted + skipped covers the full range.  The
+  // exact skip count is scheduling-dependent, but every index either
+  // entered fn or is counted as skipped -- none may vanish.
+  for (int threads : {2, 4}) {
+    std::atomic<int> attempted{0};
+    int skipped = -1;
+    EXPECT_THROW(common::parallel_for(
+                     64, threads,
+                     [&](int i) {
+                       attempted.fetch_add(1);
+                       if (i == 5) throw std::runtime_error("boom");
+                     },
+                     &skipped),
+                 std::runtime_error);
+    EXPECT_GE(skipped, 0);
+    EXPECT_EQ(attempted.load() + skipped, 64);
+  }
+
+  // The FIRST exception wins even when several workers throw.
+  int skipped = -1;
+  try {
+    common::parallel_for(
+        64, 4,
+        [&](int) { throw std::runtime_error("every index throws"); },
+        &skipped);
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "every index throws");
+  }
+  EXPECT_GE(skipped, 0);
+  EXPECT_LE(skipped, 63);
+
+  // Clean threaded runs return 0 and write 0.
+  skipped = -1;
+  EXPECT_EQ(common::parallel_for(64, 4, [](int) {}, &skipped), 0);
+  EXPECT_EQ(skipped, 0);
+}
+
 class EnvGuard {
  public:
   EnvGuard(const char* name, const char* value) : name_(name) {

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -210,6 +211,99 @@ TEST(RosterDriver, SinkOutputIsByteIdenticalAcrossThreadCounts) {
   EXPECT_LT(out1.find("fpadd-b32"), out1.find("reduce64to32"));
   std::remove(p1.c_str());
   std::remove(p4.c_str());
+}
+
+std::string slurp_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// The fail-soft contract: one throwing job must not cost the sibling
+// reports.  MFM_ROSTER_FAIL is the same injection hook CI's forced-throw
+// gate uses against the real tools.
+TEST(RosterDriver, FailSoftKeepsSiblingReportsAndRecordsTheError) {
+  struct Result {
+    std::string rendered;
+  };
+  setenv("MFM_ROSTER_FAIL", "fpadd-b32", 1);
+  const std::string path = ::testing::TempDir() + "/roster_failsoft.json";
+  std::vector<std::string> failed;
+  {
+    netlist::ReportSink sink("roster_test", /*json=*/true, path);
+    ASSERT_TRUE(sink.ok());
+    RosterDriver driver(BuildMode::kPipelined,
+                        "mult8,fpadd-b32,reduce64to32", /*threads=*/2,
+                        /*json=*/true);
+    ASSERT_EQ(driver.jobs().size(), 3u);
+    const std::vector<Result> results =
+        driver.run<Result>(sink, [](const JobContext& ctx) {
+          return Result{"{\"unit\":\"" + ctx.job.name + "\",\"ok\":true}"};
+        });
+    ASSERT_TRUE(sink.finish());
+
+    // The failed slot stays default-constructed; siblings are intact.
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_FALSE(results[0].rendered.empty());
+    EXPECT_TRUE(results[1].rendered.empty());
+    EXPECT_FALSE(results[2].rendered.empty());
+    ASSERT_EQ(driver.job_errors().size(), 3u);
+    EXPECT_TRUE(driver.job_errors()[0].empty());
+    EXPECT_NE(driver.job_errors()[1].find("injected failure"),
+              std::string::npos);
+    EXPECT_TRUE(driver.job_errors()[2].empty());
+    failed = driver.failed_jobs();
+  }
+  unsetenv("MFM_ROSTER_FAIL");
+
+  EXPECT_EQ(failed, std::vector<std::string>{"fpadd-b32"});
+  const std::string out = slurp_file(path);
+  // All three units appear, in catalog order, with the failed job's
+  // slot holding a well-formed error record.
+  EXPECT_NE(out.find("\"unit\":\"mult8\""), std::string::npos);
+  EXPECT_NE(out.find("\"unit\":\"fpadd-b32\""), std::string::npos);
+  EXPECT_NE(out.find("\"unit\":\"reduce64to32\""), std::string::npos);
+  EXPECT_NE(out.find("\"error\":\"injected failure"), std::string::npos);
+  EXPECT_LT(out.find("mult8"), out.find("fpadd-b32"));
+  EXPECT_LT(out.find("fpadd-b32"), out.find("reduce64to32"));
+  std::remove(path.c_str());
+}
+
+TEST(RosterDriver, FailSoftSurvivesEveryJobThrowing) {
+  struct Result {
+    std::string rendered;
+  };
+  setenv("MFM_ROSTER_FAIL", "mf", 1);  // matches all 10 mf* jobs
+  const std::string path = ::testing::TempDir() + "/roster_allfail.txt";
+  {
+    netlist::ReportSink sink("roster_test", /*json=*/false, path);
+    RosterDriver driver(BuildMode::kPipelined, "mf", /*threads=*/4,
+                        /*json=*/false);
+    ASSERT_EQ(driver.jobs().size(), 10u);
+    driver.run<Result>(sink, [](const JobContext& ctx) {
+      return Result{ctx.job.name};
+    });
+    sink.finish();
+    EXPECT_EQ(driver.failed_jobs().size(), 10u);
+  }
+  unsetenv("MFM_ROSTER_FAIL");
+  std::remove(path.c_str());
+}
+
+TEST(RosterDriver, RenderJobErrorMatchesBothSinkModes) {
+  EXPECT_EQ(render_job_error("mf/fp64", "boom", /*json=*/true),
+            "{\"unit\":\"mf/fp64\",\"error\":\"boom\"}");
+  const std::string text =
+      render_job_error("mf/fp64", "boom", /*json=*/false);
+  EXPECT_NE(text.find("mf/fp64"), std::string::npos);
+  EXPECT_NE(text.find("ERROR"), std::string::npos);
+  EXPECT_NE(text.find("boom"), std::string::npos);
+  // Messages with JSON metacharacters stay well-formed when escaped.
+  const std::string esc =
+      render_job_error("u", "say \"hi\"\nbye", /*json=*/true);
+  EXPECT_EQ(esc.find('\n'), std::string::npos);
+  EXPECT_NE(esc.find("\\\"hi\\\""), std::string::npos);
 }
 
 }  // namespace

@@ -19,6 +19,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/parallel.h"
+
 namespace mfm::cli {
 
 inline bool parse_long(const char* s, long& out) {
@@ -88,11 +90,23 @@ inline ParseStatus parse_common(const char* tool, const std::string& arg,
     return ParseStatus::kMatched;
   }
   if (arg.rfind("--threads=", 0) == 0) {
+    // "auto" = one worker per hardware thread, so saturating a host
+    // never requires knowing its core count ("--threads=auto" is also
+    // mfm_serve's default).  hardware_threads() clamps to >= 1 and the
+    // roster/serve pools never spawn more workers than jobs, so a value
+    // above kMaxThreads would only waste idle threads; still clamp for
+    // the same [1, kMaxThreads] contract the explicit form promises.
+    if (arg == "--threads=auto") {
+      o.threads = common::hardware_threads() > kMaxThreads
+                      ? kMaxThreads
+                      : common::hardware_threads();
+      return ParseStatus::kMatched;
+    }
     long v = 0;
     if (!parse_long(arg.c_str() + 10, v) || v < 1 || v > kMaxThreads) {
       std::fprintf(stderr,
                    "%s: bad --threads value '%s' (need an integer in "
-                   "[1, %d])\n",
+                   "[1, %d], or 'auto' for all hardware threads)\n",
                    tool, arg.c_str() + 10, kMaxThreads);
       return ParseStatus::kError;
     }
@@ -105,8 +119,8 @@ inline ParseStatus parse_common(const char* tool, const std::string& arg,
 /// Usage-line fragment for the common options, matching parse_common.
 inline const char* common_usage(bool with_seed) {
   return with_seed ? "[--json] [--only=LIST] [--out=FILE] [--seed=S] "
-                     "[--threads=N]"
-                   : "[--json] [--only=LIST] [--out=FILE] [--threads=N]";
+                     "[--threads=N|auto]"
+                   : "[--json] [--only=LIST] [--out=FILE] [--threads=N|auto]";
 }
 
 }  // namespace mfm::cli

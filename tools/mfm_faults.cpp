@@ -107,7 +107,8 @@ int main(int argc, char** argv) {
   if (!sink.ok()) return 2;
 
   mfm::roster::RosterDriver driver(mfm::roster::BuildMode::kPipelined,
-                                   cli.common.only, cli.common.threads);
+                                   cli.common.only, cli.common.threads,
+                                   cli.common.json);
   const std::vector<JobResult> results = driver.run<JobResult>(
       sink, [&cli](const mfm::roster::JobContext& ctx) {
         const mfm::netlist::Circuit& c = *ctx.unit.circuit;
@@ -130,6 +131,7 @@ int main(int argc, char** argv) {
         return r;
       });
 
+  const std::vector<std::string> errored = driver.failed_jobs();
   int failures = 0;
   std::ostringstream summary;
   if (!results.empty()) {
@@ -137,6 +139,7 @@ int main(int argc, char** argv) {
             << " vectors/fault):\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
       const std::string& name = driver.jobs()[i].name;
+      if (!driver.job_errors()[i].empty()) continue;  // fail-soft error entry
       if (results[i].failed) {
         ++failures;
         std::fprintf(stderr,
@@ -150,8 +153,17 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!sink.finish("\"failures\":" + std::to_string(failures), summary.str()))
+  if (!sink.finish("\"failures\":" + std::to_string(failures) +
+                       ",\"errors\":" + std::to_string(errored.size()),
+                   summary.str()))
     return 2;
+  if (!errored.empty()) {
+    std::fprintf(stderr, "mfm_faults: %zu job(s) failed:", errored.size());
+    for (const std::string& name : errored)
+      std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
   if (failures > 0) {
     std::fprintf(stderr, "mfm_faults: %d unit(s) below the coverage gate\n",
                  failures);

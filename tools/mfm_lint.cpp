@@ -96,7 +96,8 @@ int main(int argc, char** argv) {
   if (!sink.ok()) return 2;
 
   mfm::roster::RosterDriver driver(mfm::roster::BuildMode::kPipelined,
-                                   cli.common.only, cli.common.threads);
+                                   cli.common.only, cli.common.threads,
+                                   cli.common.json);
   const std::vector<JobResult> results = driver.run<JobResult>(
       sink, [&cli](const mfm::roster::JobContext& ctx) {
         LintOptions opt;
@@ -115,6 +116,7 @@ int main(int argc, char** argv) {
         return r;
       });
 
+  const std::vector<std::string> errored = driver.failed_jobs();
   int failures = 0;
   std::ostringstream summary;
   bool any_active = false;
@@ -123,6 +125,7 @@ int main(int argc, char** argv) {
     // Table V, structurally: gates that can toggle under each format pin.
     summary << "active combinational gates by format:\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!driver.job_errors()[i].empty()) continue;  // fail-soft error entry
     if (results[i].failed) ++failures;
     if (results[i].has_active) {
       char line[64];
@@ -132,8 +135,17 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!sink.finish("\"failures\":" + std::to_string(failures), summary.str()))
+  if (!sink.finish("\"failures\":" + std::to_string(failures) +
+                       ",\"errors\":" + std::to_string(errored.size()),
+                   summary.str()))
     return 2;
+  if (!errored.empty()) {
+    std::fprintf(stderr, "mfm_lint: %zu job(s) failed:", errored.size());
+    for (const std::string& name : errored)
+      std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
   if (failures > 0) {
     std::fprintf(stderr, "mfm_lint: %d unit report(s) with findings at %s+\n",
                  failures,

@@ -201,15 +201,18 @@ int main(int argc, char** argv) {
   if (!sink.ok()) return 2;
 
   mfm::roster::RosterDriver driver(mfm::roster::BuildMode::kCombinational,
-                                   cli.common.only, cli.common.threads);
+                                   cli.common.only, cli.common.threads,
+                                   cli.common.json);
   const std::vector<JobResult> results = driver.run<JobResult>(
       sink, [&cli](const mfm::roster::JobContext& ctx) {
         return optimize_unit(cli, ctx);
       });
 
+  const std::vector<std::string> errored = driver.failed_jobs();
   int failures = 0;
   double total_area_saved = 0.0;  // summed in catalog order: deterministic
   for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!driver.job_errors()[i].empty()) continue;  // fail-soft error entry
     if (results[i].failed) {
       ++failures;
       std::fprintf(stderr,
@@ -223,9 +226,17 @@ int main(int argc, char** argv) {
   char area[64];
   std::snprintf(area, sizeof area, "%.3f", total_area_saved);
   if (!sink.finish(std::string("\"total_area_saved_nand2\":") + area +
-                       ",\"failures\":" + std::to_string(failures),
+                       ",\"failures\":" + std::to_string(failures) +
+                       ",\"errors\":" + std::to_string(errored.size()),
                    std::string("total area saved: ") + area + " NAND2\n"))
     return 2;
+  if (!errored.empty()) {
+    std::fprintf(stderr, "mfm_opt: %zu job(s) failed:", errored.size());
+    for (const std::string& name : errored)
+      std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
   if (failures > 0) {
     std::fprintf(stderr,
                  "mfm_opt: %d unit(s) failed the end-to-end equivalence "

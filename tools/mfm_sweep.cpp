@@ -111,7 +111,8 @@ int main(int argc, char** argv) {
   if (!sink.ok()) return 2;
 
   mfm::roster::RosterDriver driver(mfm::roster::BuildMode::kCombinational,
-                                   cli.common.only, cli.common.threads);
+                                   cli.common.only, cli.common.threads,
+                                   cli.common.json);
   const std::vector<JobResult> results = driver.run<JobResult>(
       sink, [&cli](const mfm::roster::JobContext& ctx) {
         SweepOptions opt;
@@ -132,9 +133,11 @@ int main(int argc, char** argv) {
         return r;
       });
 
+  const std::vector<std::string> errored = driver.failed_jobs();
   int failures = 0;
   std::size_t total_removed = 0;
   for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!driver.job_errors()[i].empty()) continue;  // fail-soft error entry
     if (results[i].failed) {
       ++failures;
       std::fprintf(stderr,
@@ -147,9 +150,17 @@ int main(int argc, char** argv) {
 
   if (!sink.finish(
           "\"total_gates_removed\":" + std::to_string(total_removed) +
-              ",\"failures\":" + std::to_string(failures),
+              ",\"failures\":" + std::to_string(failures) +
+              ",\"errors\":" + std::to_string(errored.size()),
           "total gates removed: " + std::to_string(total_removed) + "\n"))
     return 2;
+  if (!errored.empty()) {
+    std::fprintf(stderr, "mfm_sweep: %zu job(s) failed:", errored.size());
+    for (const std::string& name : errored)
+      std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
   if (failures > 0) {
     std::fprintf(stderr, "mfm_sweep: %d unit(s) failed re-verification\n",
                  failures);
