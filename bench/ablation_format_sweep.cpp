@@ -19,6 +19,7 @@ struct Cost {
   double area_nand2;
   double delay_ps;
   double mw100;
+  double glitch_mw100;
 };
 
 Cost measure_fixed(const fp::FormatSpec& fmt, int vectors) {
@@ -47,8 +48,8 @@ Cost measure_fixed(const fp::FormatSpec& fmt, int vectors) {
     sim.set_bus(u.b, rnd());
     sim.cycle();
   }
-  return {pm.area_nand2(), sta.max_delay_ps(),
-          pm.report(sim, 100.0).total_mw()};
+  const netlist::PowerReport rep = pm.report(sim, 100.0);
+  return {pm.area_nand2(), sta.max_delay_ps(), rep.total_mw(), rep.glitch_mw};
 }
 
 }  // namespace
@@ -65,13 +66,14 @@ int main() {
   const auto& lib = netlist::TechLib::lp45();
 
   bench::Table t;
-  t.row({"unit", "area [NAND2]", "comb. delay [ps]", "power @100MHz [mW]"});
+  t.row({"unit", "area [NAND2]", "comb. delay [ps]", "power @100MHz [mW]",
+         "glitch [mW]"});
   for (const fp::FormatSpec* f :
        {&fp::kBinary16, &fp::kBinary32, &fp::kBinary64}) {
     const Cost c = measure_fixed(*f, vectors);
     t.row({std::string("fixed ") + std::string(f->name),
            bench::fmt("%.0f", c.area_nand2), bench::fmt("%.0f", c.delay_ps),
-           bench::fmt("%.2f", c.mw100)});
+           bench::fmt("%.2f", c.mw100), bench::fmt("%.2f", c.glitch_mw100)});
   }
   // The multi-format unit, combinational for a like-for-like delay column.
   mf::MfOptions comb;
@@ -83,7 +85,8 @@ int main() {
       mfu, power::Workload::Fp64Random, vectors, 880.0, 1, threads);
   t.row({"MFmult (int64+fp64+2xfp32)", bench::fmt("%.0f", pm.area_nand2()),
          bench::fmt("%.0f", sta.max_delay_ps()),
-         bench::fmt("%.2f (fp64 stream)", p64.mw_100)});
+         bench::fmt("%.2f (fp64 stream)", p64.mw_100),
+         bench::fmt("%.2f", p64.at_100mhz.glitch_mw)});
   t.print();
   std::printf("\nMFmult stream throughput: %.2f Mevents/s "
               "(%llu events in %.2f s, %d threads)\n",

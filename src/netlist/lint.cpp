@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "netlist/compiled.h"
+#include "netlist/glitch.h"
 #include "netlist/pattern.h"
 #include "netlist/report.h"
 #include "netlist/structural_hash.h"
@@ -22,6 +23,7 @@ std::string_view lint_rule_name(LintRule r) {
     case LintRule::kUnobservable: return "unobservable";
     case LintRule::kFanout: return "fanout";
     case LintRule::kFusion: return "fusion";
+    case LintRule::kGlitchProne: return "glitch-prone";
   }
   return "?";
 }
@@ -61,7 +63,7 @@ class Findings {
  private:
   LintReport& report_;
   int max_per_rule_;
-  std::array<int, 7> emitted_{};
+  std::array<int, 8> emitted_{};
 };
 
 std::string net_label(const Circuit& c, NetId n) {
@@ -336,7 +338,7 @@ LintReport lint_circuit(const Circuit& c, const LintOptions& options) {
   std::optional<CompiledCircuit> compiled;
   if (valid && (options.check_constants || options.check_unobservable ||
                 options.check_fanout || options.check_fusion ||
-                !options.lanes.empty()))
+                options.check_glitch || !options.lanes.empty()))
     compiled.emplace(c);
 
   // constant -- ternary propagation under the pins.
@@ -547,6 +549,28 @@ LintReport lint_circuit(const Circuit& c, const LintOptions& options) {
     }
   }
 
+  // glitch-prone -- static arrival-window hazard analysis under the same
+  // pins (netlist/glitch.h), reporting the energy-ranked hot nets.
+  if (valid && options.check_glitch) {
+    rep.glitch_ran = true;
+    GlitchOptions gopt;
+    gopt.pins = options.pins;
+    gopt.max_hot = options.max_findings_per_rule;
+    const GlitchReport g = analyze_glitch(*compiled, TechLib::lp45(), gopt);
+    rep.glitch_prone_nets = g.glitchy_nets;
+    rep.glitch_score_total = g.total_score;
+    rep.glitch_energy_fj = g.total_energy_fj;
+    for (const GlitchHotNet& h : g.hot) {
+      if (h.energy_fj < options.glitch_energy_threshold_fj) break;
+      char detail[96];
+      std::snprintf(detail, sizeof detail,
+                    " (score %.1f, %.2f fJ/cycle, window %.0f ps)", h.score,
+                    h.energy_fj, h.window_ps);
+      out.add(LintRule::kGlitchProne, LintSeverity::kInfo, h.net,
+              net_label(c, h.net) + " is glitch-prone" + detail);
+    }
+  }
+
   // Drop modules no rule touched so reports stay small.
   rep.modules.erase(
       std::remove_if(rep.modules.begin(), rep.modules.end(),
@@ -595,6 +619,13 @@ std::string lint_report_text(const LintReport& rep, const std::string& title) {
     std::snprintf(area, sizeof area, "%.2f", rep.fusion_area_nand2);
     os << "fusion: " << rep.fusion_opportunities
        << " unfused AO/OA opportunity(ies), " << area << " NAND2 fusable\n";
+  }
+  if (rep.glitch_ran) {
+    char gbuf[64];
+    std::snprintf(gbuf, sizeof gbuf, "score %.1f, %.1f fJ/cycle",
+                  rep.glitch_score_total, rep.glitch_energy_fj);
+    os << "glitch-prone: " << rep.glitch_prone_nets << " net(s), " << gbuf
+       << "\n";
   }
   for (const LintFinding& f : rep.findings)
     os << "  " << lint_severity_name(f.severity) << " ["
@@ -690,6 +721,16 @@ std::string lint_report_json(const LintReport& rep, const std::string& title) {
     key("fusion_area_nand2");
     char buf[32];
     std::snprintf(buf, sizeof buf, "%.3f", rep.fusion_area_nand2);
+    j += buf;
+  }
+  if (rep.glitch_ran) {
+    num("glitch_prone_nets", rep.glitch_prone_nets);
+    char buf[48];
+    key("glitch_score_total");
+    std::snprintf(buf, sizeof buf, "%.3f", rep.glitch_score_total);
+    j += buf;
+    key("glitch_energy_fj");
+    std::snprintf(buf, sizeof buf, "%.3f", rep.glitch_energy_fj);
     j += buf;
   }
   key("findings");

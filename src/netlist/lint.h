@@ -47,6 +47,12 @@
 //                  optimizer pass applies (netlist/pattern.h), so this
 //                  analysis and tools/mfm_opt can never disagree.
 //
+//  glitch-prone    Advisory: static arrival-window hazard analysis
+//                  (netlist/glitch.h) under the same pins.  Reports the
+//                  nets whose bounded extra-transition estimate weighted
+//                  by TechLib load tops the ranking -- the nets most
+//                  likely to burn glitch power -- plus circuit totals.
+//
 // verify_circuit() (netlist/verify.h) is now a thin wrapper over the
 // structure rule, so every existing caller goes through the analyzer.
 #pragma once
@@ -70,6 +76,7 @@ enum class LintRule : std::uint8_t {
   kUnobservable,
   kFanout,
   kFusion,
+  kGlitchProne,
 };
 
 std::string_view lint_rule_name(LintRule r);
@@ -123,6 +130,11 @@ struct LintOptions {
   bool check_unobservable = true;
   bool check_fanout = true;
   bool check_fusion = true;
+  bool check_glitch = true;
+
+  /// glitch rule: emit a finding only for nets whose static glitch
+  /// energy meets this threshold [fJ/cycle] (the totals stay exact).
+  double glitch_energy_threshold_fj = 1.0;
 
   /// Cap on emitted findings per rule (counts stay exact).
   int max_findings_per_rule = 16;
@@ -174,6 +186,12 @@ struct LintReport {
   bool fusion_ran = false;
   std::size_t fusion_opportunities = 0;  ///< unfused AO/OA cone matches
   double fusion_area_nand2 = 0.0;        ///< area the fusions would remove
+
+  // glitch rule (netlist/glitch.h under the same pins)
+  bool glitch_ran = false;
+  std::size_t glitch_prone_nets = 0;     ///< nets with a positive score
+  double glitch_score_total = 0.0;       ///< bounded extra transitions
+  double glitch_energy_fj = 0.0;         ///< static estimate [fJ/cycle]
 
   std::vector<ModuleLintStats> modules;
 

@@ -61,17 +61,23 @@ PowerReport PowerModel::report(const ActivityCounts& counts, double freq_mhz,
   const double sim_time_ns = static_cast<double>(r.cycles) * period_ns;
 
   double total_fj = 0.0;
+  double glitch_fj = 0.0;
   const auto& toggles = counts.toggles;
+  r.has_glitch_split = counts.has_split();
   for (NetId n = 0; n < c_.size(); ++n) {
     if (toggles[n] == 0) continue;
     const double e = static_cast<double>(toggles[n]) * net_energy_fj_[n];
     total_fj += e;
+    if (r.has_glitch_split)
+      glitch_fj += static_cast<double>(toggles[n] - counts.functional[n]) *
+                   net_energy_fj_[n];
     const std::string label =
         truncate_module(c_.module_path(c_.gate(n).module), module_depth);
     // fJ over the whole sim -> mW:  fJ/ns = uW, /1000 = mW.
     r.by_module_mw[label] += e / sim_time_ns / 1000.0;
   }
   r.dynamic_mw = total_fj / sim_time_ns / 1000.0;
+  r.glitch_mw = glitch_fj / sim_time_ns / 1000.0;
 
   // Clock tree: each flop's clock pin swings twice per cycle, plus the
   // flop's internal clock-node energy (burned even when D is stable).

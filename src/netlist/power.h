@@ -22,6 +22,12 @@ namespace mfm::netlist {
 /// Power figures for one measurement [mW].
 struct PowerReport {
   double dynamic_mw = 0.0;   ///< combinational + register data switching
+  /// Glitch component of dynamic_mw: energy of transitions beyond the
+  /// settled-value change of each net per cycle.  Only filled when the
+  /// activity counts carry the functional/glitch split (EventSim);
+  /// otherwise stays 0 with has_glitch_split = false.
+  double glitch_mw = 0.0;
+  bool has_glitch_split = false;
   double clock_mw = 0.0;     ///< clock tree / register clock pins
   double leakage_mw = 0.0;   ///< area-proportional static power
   double total_mw() const { return dynamic_mw + clock_mw + leakage_mw; }

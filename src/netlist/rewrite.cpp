@@ -6,6 +6,7 @@
 
 #include "netlist/compiled.h"
 #include "netlist/equiv.h"
+#include "netlist/glitch.h"
 #include "netlist/report.h"
 
 namespace mfm::netlist {
@@ -55,6 +56,9 @@ RewriteResult rewrite_circuit(const Circuit& c,
 
   rep.gates_after = gate_count(*result.circuit);
   rep.area_after_nand2 = total_area_nand2(*result.circuit, lib);
+  rep.glitch_ran = true;
+  rep.glitch_before_fj = static_glitch_energy_fj(c, lib, opt.pins);
+  rep.glitch_after_fj = static_glitch_energy_fj(*result.circuit, lib, opt.pins);
 
   if (opt.verify) {
     rep.verify_ran = true;
@@ -100,6 +104,13 @@ std::string rewrite_report_text(const RewriteReport& rep,
     os << "  " << r.rule << ": " << r.matches << " match"
        << (r.matches == 1 ? "" : "es") << ", -" << area << " NAND2\n";
   }
+  if (rep.glitch_ran) {
+    char g[96];
+    std::snprintf(g, sizeof g, "glitch energy %.1f -> %.1f fJ/cycle (-%.1f)",
+                  rep.glitch_before_fj, rep.glitch_after_fj,
+                  rep.glitch_removed_fj());
+    os << g << "\n";
+  }
   if (rep.verify_ran)
     os << "verify: " << (rep.verified ? "PASS" : "FAIL") << " ("
        << rep.verify_vectors << " vectors)"
@@ -130,6 +141,11 @@ std::string rewrite_report_json(const RewriteReport& rep,
   num("area_removed_nand2", rep.area_removed_nand2());
   count("iterations", static_cast<std::uint64_t>(rep.iterations));
   count("applied", rep.applied);
+  j += std::string("\"glitch_ran\":") + (rep.glitch_ran ? "true" : "false") +
+       ",";
+  num("glitch_before_fj", rep.glitch_before_fj);
+  num("glitch_after_fj", rep.glitch_after_fj);
+  num("glitch_removed_fj", rep.glitch_removed_fj());
   j += std::string("\"verify_ran\":") + (rep.verify_ran ? "true" : "false") +
        ",\"verified\":" + (rep.verified ? "true" : "false") + ",";
   count("verify_vectors", rep.verify_vectors);

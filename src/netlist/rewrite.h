@@ -67,9 +67,19 @@ struct RewriteReport {
   std::uint64_t verify_vectors = 0;
   std::string counterexample;  ///< on a failed re-verification
 
+  /// Static glitch-energy estimate (netlist/glitch.h) of the circuit
+  /// before and after the rewrites, under the same pins -- so a rewrite
+  /// campaign can claim glitch savings, not just gate-count savings.
+  bool glitch_ran = false;
+  double glitch_before_fj = 0.0;  ///< [fJ/cycle]
+  double glitch_after_fj = 0.0;   ///< [fJ/cycle]
+
   std::size_t gates_removed() const { return gates_before - gates_after; }
   double area_removed_nand2() const {
     return area_before_nand2 - area_after_nand2;
+  }
+  double glitch_removed_fj() const {
+    return glitch_before_fj - glitch_after_fj;
   }
 };
 

@@ -9,12 +9,21 @@ namespace mfm::netlist {
 void ActivityCounts::merge(const ActivityCounts& o) {
   if (toggles.empty()) {
     toggles = o.toggles;
+    functional = o.functional;
   } else {
     if (toggles.size() != o.toggles.size())
       throw std::invalid_argument(
           "ActivityCounts::merge: circuit size mismatch");
     for (std::size_t i = 0; i < toggles.size(); ++i)
       toggles[i] += o.toggles[i];
+    // The split survives a merge only when both sides carry it; a lumped
+    // count cannot be split after the fact, so it degrades to lumped.
+    if (!functional.empty() && functional.size() == o.functional.size()) {
+      for (std::size_t i = 0; i < functional.size(); ++i)
+        functional[i] += o.functional[i];
+    } else {
+      functional.clear();
+    }
   }
   cycles += o.cycles;
   events += o.events;
@@ -26,6 +35,16 @@ std::uint64_t ActivityCounts::total_toggles() const {
   return sum;
 }
 
+std::uint64_t ActivityCounts::total_functional() const {
+  std::uint64_t sum = 0;
+  for (std::uint64_t t : functional) sum += t;
+  return sum;
+}
+
+std::uint64_t ActivityCounts::total_glitch() const {
+  return has_split() ? total_toggles() - total_functional() : 0;
+}
+
 EventSim::EventSim(const CompiledCircuit& cc, const TechLib& lib)
     : cc_(&cc),
       c_(cc.circuit()),
@@ -34,6 +53,8 @@ EventSim::EventSim(const CompiledCircuit& cc, const TechLib& lib)
       staged_pi_(cc.size(), 0),
       state_(cc.flop_count(), 0),
       toggles_(cc.size(), 0),
+      functional_(cc.size(), 0),
+      cycle_toggles_(cc.size(), 0),
       latest_seq_(cc.size(), 0) {
   settle_initial_state();
 }
@@ -47,6 +68,8 @@ EventSim::EventSim(const Circuit& c, const TechLib& lib)
       staged_pi_(c.size(), 0),
       state_(c.flops().size(), 0),
       toggles_(c.size(), 0),
+      functional_(c.size(), 0),
+      cycle_toggles_(c.size(), 0),
       latest_seq_(c.size(), 0) {
   settle_initial_state();
 }
@@ -92,6 +115,11 @@ void EventSim::seed_change(NetId net, bool v, double at_ps) {
   if ((values_[net] != 0) == v) return;
   values_[net] = v ? 1 : 0;
   ++toggles_[net];
+  // First toggle of this net in the current cycle: remember it so the
+  // end-of-cycle fold can classify its settled-value parity without a
+  // full-circuit sweep.  Total toggle counting above is untouched, which
+  // is what keeps the pinned power totals bit-identical.
+  if (cycle_toggles_[net]++ == 0) touched_.push_back(net);
   ++events_;
   // Schedule re-evaluation of every fan-out gate (shared CSR adjacency;
   // row order matches the historical private table, so the event
@@ -137,6 +165,15 @@ void EventSim::cycle() {
     seed_change(q, state_[i] != 0, lib_.clk_to_q_ps());
   }
   propagate();
+  // Fold the cycle's toggles into the functional/glitch split: an odd
+  // toggle count means the settled value changed (one functional
+  // transition, the rest glitches); an even count means it glitched back
+  // to its previous value (all glitches).
+  for (const NetId n : touched_) {
+    functional_[n] += cycle_toggles_[n] & 1u;
+    cycle_toggles_[n] = 0;
+  }
+  touched_.clear();
   // End of cycle: capture D into state for the next edge.
   for (std::size_t i = 0; i < c_.flops().size(); ++i) {
     const Gate& g = c_.gate(c_.flops()[i]);
@@ -162,6 +199,7 @@ u128 EventSim::read_port(const std::string& name) const {
 
 void EventSim::reset_counts() {
   std::fill(toggles_.begin(), toggles_.end(), 0);
+  std::fill(functional_.begin(), functional_.end(), 0);
   cycles_ = 0;
   events_ = 0;
 }
@@ -169,6 +207,7 @@ void EventSim::reset_counts() {
 ActivityCounts EventSim::counts() const {
   ActivityCounts c;
   c.toggles = toggles_;
+  c.functional = functional_;
   c.cycles = cycles_;
   c.events = events_;
   return c;
@@ -177,12 +216,19 @@ ActivityCounts EventSim::counts() const {
 void EventSim::merge_counts(ActivityCounts& into) const {
   if (into.toggles.empty()) {
     into.toggles = toggles_;
+    into.functional = functional_;
   } else {
     if (into.toggles.size() != toggles_.size())
       throw std::invalid_argument(
           "EventSim::merge_counts: circuit size mismatch");
     for (std::size_t i = 0; i < toggles_.size(); ++i)
       into.toggles[i] += toggles_[i];
+    if (into.functional.size() == functional_.size()) {
+      for (std::size_t i = 0; i < functional_.size(); ++i)
+        into.functional[i] += functional_[i];
+    } else {
+      into.functional.clear();
+    }
   }
   into.cycles += cycles_;
   into.events += events_;

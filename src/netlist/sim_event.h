@@ -30,13 +30,31 @@ namespace mfm::netlist {
 /// still feed one PowerModel::report.
 struct ActivityCounts {
   std::vector<std::uint64_t> toggles;  ///< per-net transition counts
+  /// Per-net *functional* transitions: cycles in which the net's settled
+  /// value differs from the previous cycle's settled value.  By parity,
+  /// this equals (toggles in the cycle) mod 2, and is definitionally the
+  /// zero-delay toggle count LevelSim/PackSim would report.  The glitch
+  /// count of a net is toggles[n] - functional[n].  May be empty for
+  /// counts built by older producers; consumers must treat an empty
+  /// vector as "split not available".
+  std::vector<std::uint64_t> functional;
   std::uint64_t cycles = 0;
   std::uint64_t events = 0;  ///< simulator events processed
 
   /// Element-wise accumulate @p o (size() must match or this be empty).
+  /// The functional split merges leniently: if either side lacks it the
+  /// merged counts drop it (a lumped count cannot be split after the
+  /// fact), so hand-built ActivityCounts keep working.
   void merge(const ActivityCounts& o);
   /// Sum of all per-net transition counts.
   std::uint64_t total_toggles() const;
+  /// Sum of per-net functional transitions (0 if the split is absent).
+  std::uint64_t total_functional() const;
+  /// Sum of per-net glitch transitions: total_toggles() minus
+  /// total_functional() when the split is present, 0 otherwise.
+  std::uint64_t total_glitch() const;
+  /// True when the functional/glitch split is available.
+  bool has_split() const { return functional.size() == toggles.size() && !toggles.empty(); }
 };
 
 /// Event-driven two-valued simulator over a frozen Circuit.
@@ -69,6 +87,10 @@ class EventSim {
 
   /// Transition count per net since construction (or reset_counts()).
   const std::vector<std::uint64_t>& toggles() const { return toggles_; }
+  /// Functional transitions per net: one per cycle in which the net's
+  /// settled value changed (the zero-delay component of toggles()).
+  /// toggles()[n] - functional()[n] is the glitch count of net n.
+  const std::vector<std::uint64_t>& functional() const { return functional_; }
   std::uint64_t cycles_run() const { return cycles_; }
   std::uint64_t events_processed() const { return events_; }
   void reset_counts();
@@ -103,6 +125,9 @@ class EventSim {
   std::vector<std::uint8_t> staged_pi_;
   std::vector<std::uint8_t> state_;            // DFF state by flop ordinal
   std::vector<std::uint64_t> toggles_;
+  std::vector<std::uint64_t> functional_;      // settled-value changes
+  std::vector<std::uint32_t> cycle_toggles_;   // toggles within the cycle
+  std::vector<NetId> touched_;                 // nets toggled this cycle
   std::vector<std::uint64_t> latest_seq_;  // inertial cancellation marker
   std::vector<Event> heap_;
   std::uint64_t seq_ = 0;

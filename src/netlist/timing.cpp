@@ -1,6 +1,7 @@
 #include "netlist/timing.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace mfm::netlist {
 
@@ -19,7 +20,10 @@ std::string truncate_module(const std::string& path, int depth) {
 }  // namespace
 
 Sta::Sta(const CompiledCircuit& cc, const TechLib& lib)
-    : cc_(&cc), lib_(lib), arrival_(cc.size(), 0.0) {
+    : cc_(&cc),
+      lib_(lib),
+      arrival_(cc.size(), 0.0),
+      arrival_min_(cc.size(), 0.0) {
   analyze();
 }
 
@@ -27,8 +31,16 @@ Sta::Sta(const Circuit& c, const TechLib& lib)
     : owned_(std::make_unique<CompiledCircuit>(c)),
       cc_(owned_.get()),
       lib_(lib),
-      arrival_(c.size(), 0.0) {
+      arrival_(c.size(), 0.0),
+      arrival_min_(c.size(), 0.0) {
   analyze();
+}
+
+void Sta::check_net(NetId n) const {
+  if (n >= arrival_.size())
+    throw std::invalid_argument("Sta: net " + std::to_string(n) +
+                                " out of range (circuit has " +
+                                std::to_string(arrival_.size()) + " nets)");
 }
 
 void Sta::analyze() {
@@ -42,11 +54,19 @@ void Sta::analyze() {
         break;
       case GateKind::Dff:
         arrival_[i] = lib_.clk_to_q_ps();
+        arrival_min_[i] = lib_.clk_to_q_ps();
         break;
       default: {
-        double t = 0.0;
-        for (const NetId src : cc.fanin(i)) t = std::max(t, arrival_[src]);
-        arrival_[i] = t + lib_.delay_ps(cc.kind(i));
+        const auto fanin = cc.fanin(i);
+        double tmax = 0.0;
+        double tmin = fanin.empty() ? 0.0 : arrival_min_[fanin[0]];
+        for (const NetId src : fanin) {
+          tmax = std::max(tmax, arrival_[src]);
+          tmin = std::min(tmin, arrival_min_[src]);
+        }
+        const double d = lib_.delay_ps(cc.kind(i));
+        arrival_[i] = tmax + d;
+        arrival_min_[i] = tmin + d;
         break;
       }
     }

@@ -5,6 +5,12 @@
 // endpoints are primary outputs and DFF D pins (+ setup).  For a pipelined
 // circuit the maximum endpoint arrival therefore equals the minimum clock
 // period.
+//
+// Besides the classic max arrival, Sta also propagates the *min* arrival
+// (shortest path under the same delay model), so every net carries an
+// arrival window [arrival_min, arrival].  The window width bounds how long
+// a net can keep switching after its earliest possible transition -- the
+// raw material of the static glitch analysis in netlist/glitch.h.
 #pragma once
 
 #include <memory>
@@ -39,8 +45,27 @@ class Sta {
   /// Convenience: compiles @p c privately.
   Sta(const Circuit& c, const TechLib& lib);
 
-  /// Arrival time of a net [ps].
-  double arrival(NetId n) const { return arrival_[n]; }
+  /// Latest arrival time of a net [ps].  Throws std::invalid_argument on
+  /// an out-of-range NetId (always on: an assert would vanish in Release
+  /// builds, the bug class fixed across the simulators in earlier PRs).
+  double arrival(NetId n) const {
+    check_net(n);
+    return arrival_[n];
+  }
+
+  /// Earliest arrival time of a net [ps] (shortest path).
+  double arrival_min(NetId n) const {
+    check_net(n);
+    return arrival_min_[n];
+  }
+
+  /// Arrival-window width [ps]: arrival(n) - arrival_min(n).  Zero means
+  /// every path to the net has equal delay, so the net settles in one
+  /// transition; a wide window is the static precondition for glitching.
+  double window_ps(NetId n) const {
+    check_net(n);
+    return arrival_[n] - arrival_min_[n];
+  }
 
   /// Worst endpoint arrival over primary outputs and DFF D pins (+setup).
   /// Equals the minimum clock period for sequential circuits and the
@@ -61,11 +86,13 @@ class Sta {
 
  private:
   void analyze();
+  void check_net(NetId n) const;
 
   std::unique_ptr<const CompiledCircuit> owned_;  // Circuit ctor only
   const CompiledCircuit* cc_;
   const TechLib& lib_;
   std::vector<double> arrival_;
+  std::vector<double> arrival_min_;
   double max_delay_ps_ = 0.0;
   NetId worst_endpoint_ = kNoNet;   // net feeding worst endpoint
 };

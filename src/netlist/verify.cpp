@@ -12,6 +12,7 @@ CircuitStats verify_circuit(const Circuit& c,
   opt.check_unobservable = false;
   opt.check_fanout = false;
   opt.check_fusion = false;
+  opt.check_glitch = false;
   opt.max_findings_per_rule = -1;  // callers expect one message per violation
   const LintReport rep = lint_circuit(c, opt);
   if (findings)

@@ -110,6 +110,8 @@ FormatPower measure_mf_parallel(const mf::MfUnit& unit, Workload workload,
   out.gflops_per_w =
       out.mw_fmax > 0.0 ? out.gflops / (out.mw_fmax / 1000.0) : 0.0;
   out.toggles = merged.total_toggles();
+  out.functional = merged.total_functional();
+  out.glitch = merged.total_glitch();
   out.events = merged.events;
   out.compile_s = std::chrono::duration<double>(t0 - tc).count();
   out.wall_s = std::chrono::duration<double>(t1 - t0).count();
@@ -145,6 +147,8 @@ MultiplierPower measure_multiplier_parallel(const mult::MultiplierUnit& unit,
   MultiplierPower out;
   out.report = pm.report(merged, freq_mhz);
   out.toggles = merged.total_toggles();
+  out.functional = merged.total_functional();
+  out.glitch = merged.total_glitch();
   out.events = merged.events;
   out.compile_s = std::chrono::duration<double>(t0 - tc).count();
   out.wall_s = std::chrono::duration<double>(t1 - t0).count();

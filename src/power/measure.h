@@ -50,6 +50,8 @@ struct FormatPower {
   double gflops = 0.0;        ///< throughput at fmax (0 for int64)
   double gflops_per_w = 0.0;  ///< power efficiency at fmax
   std::uint64_t toggles = 0;  ///< merged per-net transition total
+  std::uint64_t functional = 0;  ///< settled-value transitions (zero-delay)
+  std::uint64_t glitch = 0;      ///< toggles - functional (hazard pulses)
   std::uint64_t events = 0;   ///< simulator events processed
   double compile_s = 0.0;     ///< one-time CompiledCircuit build [s]
   double wall_s = 0.0;        ///< simulation wall-clock, excl. compile [s]
@@ -76,6 +78,8 @@ FormatPower measure_mf_parallel(const mf::MfUnit& unit, Workload workload,
 struct MultiplierPower {
   netlist::PowerReport report;
   std::uint64_t toggles = 0;  ///< merged per-net transition total
+  std::uint64_t functional = 0;  ///< settled-value transitions (zero-delay)
+  std::uint64_t glitch = 0;      ///< toggles - functional (hazard pulses)
   std::uint64_t events = 0;   ///< simulator events processed
   double compile_s = 0.0;     ///< one-time CompiledCircuit build [s]
   double wall_s = 0.0;        ///< simulation wall-clock, excl. compile [s]

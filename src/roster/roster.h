@@ -1,5 +1,5 @@
 // The shared unit roster: one declaration of every shipped generator,
-// consumed by all four mfm_* tools, the throughput benches, and the
+// consumed by all six mfm_* tools, the throughput benches, and the
 // tests.
 //
 // Before this layer existed each tool hand-copied the same ~100-line

@@ -57,7 +57,7 @@ std::vector<Expected> mf_outputs(const std::string& variant, const Op& op,
     const std::optional<std::uint32_t> ra = mf::reduce64to32(a);
     const std::optional<std::uint32_t> rb = mf::reduce64to32(b);
     const bool both = ra.has_value() && rb.has_value();
-    out.push_back({"reduced", both ? 1 : 0, kMask1});
+    out.push_back({"reduced", both ? u128{1} : u128{0}, kMask1});
     if (both) {
       // The op was issued on the lower binary32 lane; PH's upper bits
       // and PL are datapath-dependent, so only the low word is pinned.
@@ -115,7 +115,7 @@ std::vector<Expected> reference_outputs(std::size_t spec,
   if (name == "reduce64to32") {
     const std::optional<std::uint32_t> r = mf::reduce64to32(op.a);
     std::vector<Expected> out;
-    out.push_back({"reduce", r.has_value() ? 1 : 0, kMask1});
+    out.push_back({"reduce", r.has_value() ? u128{1} : u128{0}, kMask1});
     // out32 is only defined when the reduce flag is high.
     if (r.has_value()) out.push_back({"out32", *r, kMask32});
     return out;

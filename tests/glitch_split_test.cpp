@@ -1,0 +1,93 @@
+// The functional/glitch split invariant, over the whole roster: for
+// every catalog job, EventSim's per-net *functional* transition counts
+// must equal the zero-delay toggle counts PackSim reports for the same
+// stimulus.  By parity, a net's settled value changes in a cycle iff it
+// toggled an odd number of times under inertial-delay simulation, so
+// the functional component of the timing-accurate count is
+// definitionally the zero-delay count -- this test holds that
+// definition against both engines on every shipped generator, pinned
+// variants included (the pins must freeze the same nets in both).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "netlist/sim_event.h"
+#include "netlist/sim_pack.h"
+#include "netlist/techlib.h"
+#include "roster/roster.h"
+
+namespace mfm::roster {
+namespace {
+
+TEST(GlitchSplit, FunctionalCountsEqualZeroDelayTogglesOnEveryRosterUnit) {
+  const int kCycles = 12;
+  UnitCache cache;
+  for (const RosterJob& job : plan_jobs("")) {
+    SCOPED_TRACE(job.name);
+    const netlist::CompiledCircuit& cc =
+        cache.compiled(job.spec, BuildMode::kPipelined);
+    const BuiltUnit& unit = cache.unit(job.spec, BuildMode::kPipelined);
+    const PinVariant& variant = unit.variants[job.variant];
+    const netlist::Circuit& c = cc.circuit();
+
+    netlist::EventSim esim(cc, netlist::TechLib::lp45());
+    netlist::PackSim psim(cc);
+
+    // Zero-delay toggle reference: settled lane-0 values after each
+    // cycle's eval(), diffed against the previous cycle's.  Both
+    // simulators construct settled at all-zero inputs, so snapshot the
+    // baseline BEFORE applying the pins -- EventSim stages pin values
+    // until its first cycle(), and the reference must diff against the
+    // same pre-pin state.
+    std::vector<std::uint64_t> zero_delay(c.size(), 0);
+    std::vector<std::uint8_t> prev(c.size(), 0);
+    for (netlist::NetId n = 0; n < c.size(); ++n)
+      prev[n] = psim.value(n, 0);
+
+    std::vector<std::uint8_t> pinned(c.size(), 0);
+    for (const netlist::TernaryPin& p : variant.pins) {
+      pinned[p.net] = 1;
+      esim.set(p.net, p.value);
+      psim.set(p.net, p.value ? ~0ull : 0ull);
+    }
+
+    std::mt19937_64 rng(0xD15C0 + job.spec * 31 + job.variant);
+    for (int cyc = 0; cyc < kCycles; ++cyc) {
+      for (const netlist::NetId pi : c.primary_inputs()) {
+        if (pinned[pi]) continue;
+        const bool bit = (rng() & 1) != 0;
+        esim.set(pi, bit);
+        psim.set(pi, bit ? ~0ull : 0ull);
+      }
+      esim.cycle();
+      psim.eval();
+      for (netlist::NetId n = 0; n < c.size(); ++n) {
+        const std::uint8_t v = psim.value(n, 0);
+        zero_delay[n] += v != prev[n];
+        prev[n] = v;
+      }
+      psim.clock();
+    }
+
+    ASSERT_EQ(esim.functional().size(), zero_delay.size());
+    for (netlist::NetId n = 0; n < c.size(); ++n) {
+      ASSERT_EQ(esim.functional()[n], zero_delay[n]) << "net " << n;
+      ASSERT_LE(esim.functional()[n], esim.toggles()[n]) << "net " << n;
+      // A held input transitions at most once (the pin application in
+      // the first cycle, when the pin value is 1), never after.
+      if (pinned[n]) {
+        ASSERT_LE(esim.toggles()[n], 1u) << "pinned net " << n;
+      }
+    }
+    // The totals the tools report are exactly the per-net sums.
+    const netlist::ActivityCounts counts = esim.counts();
+    ASSERT_TRUE(counts.has_split());
+    ASSERT_EQ(counts.total_functional() + counts.total_glitch(),
+              counts.total_toggles());
+  }
+}
+
+}  // namespace
+}  // namespace mfm::roster

@@ -327,6 +327,52 @@ TEST(LintFanout, NoChainsInCleanLogic) {
   EXPECT_EQ(rep.buffer_chain_gates, 0u);
 }
 
+TEST(LintGlitch, SkewedReconvergenceFiresGlitchProneInfo) {
+  // a feeds an Xor2 directly and through a 3-Buf chain: a 114 ps
+  // arrival window across a 64 ps gate, the canonical hazard.
+  Circuit c;
+  const NetId a = c.input("a");
+  NetId n = a;
+  for (int i = 0; i < 3; ++i) n = c.add(GateKind::Buf, n);
+  const NetId x = c.add(GateKind::Xor2, a, n);
+  c.output("y", x);
+
+  LintOptions opt;
+  opt.glitch_energy_threshold_fj = 0.01;
+  const LintReport rep = lint_circuit(c, opt);
+  EXPECT_TRUE(rep.glitch_ran);
+  EXPECT_EQ(rep.glitch_prone_nets, 1u);
+  EXPECT_GT(rep.glitch_score_total, 0.0);
+  EXPECT_GT(rep.glitch_energy_fj, 0.0);
+  bool fired = false;
+  for (const LintFinding& f : rep.findings)
+    if (f.rule == LintRule::kGlitchProne) {
+      fired = true;
+      EXPECT_EQ(f.severity, LintSeverity::kInfo);
+      EXPECT_EQ(f.net, x);
+      EXPECT_NE(f.message.find("glitch-prone"), std::string::npos);
+    }
+  EXPECT_TRUE(fired);
+  const std::string json = lint_report_json(rep, "skew");
+  EXPECT_NE(json.find("\"glitch_prone_nets\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"glitch_energy_fj\":"), std::string::npos);
+
+  // Pinning the input freezes the cone: the rule still runs, nothing
+  // fires.  Disabling the rule skips it entirely.
+  LintOptions pinned = opt;
+  pinned.pins = {{a, false}};
+  const LintReport quiet = lint_circuit(c, pinned);
+  EXPECT_TRUE(quiet.glitch_ran);
+  EXPECT_EQ(quiet.glitch_prone_nets, 0u);
+
+  LintOptions off;
+  off.check_glitch = false;
+  const LintReport skipped = lint_circuit(c, off);
+  EXPECT_FALSE(skipped.glitch_ran);
+  for (const LintFinding& f : skipped.findings)
+    EXPECT_NE(f.rule, LintRule::kGlitchProne);
+}
+
 // ---- helpers ---------------------------------------------------------------
 
 TEST(LintHelpers, PinPortValidatesItsArguments) {

@@ -22,6 +22,8 @@ namespace {
 
 void expect_identical(const FormatPower& a, const FormatPower& b) {
   EXPECT_EQ(a.toggles, b.toggles);
+  EXPECT_EQ(a.functional, b.functional);
+  EXPECT_EQ(a.glitch, b.glitch);
   EXPECT_EQ(a.events, b.events);
   // Bit-exact double comparisons are intentional: the merged integer
   // counts are identical and the report sums energies in net order, so
@@ -31,6 +33,7 @@ void expect_identical(const FormatPower& a, const FormatPower& b) {
   EXPECT_EQ(a.gflops, b.gflops);
   EXPECT_EQ(a.gflops_per_w, b.gflops_per_w);
   EXPECT_EQ(a.at_100mhz.dynamic_mw, b.at_100mhz.dynamic_mw);
+  EXPECT_EQ(a.at_100mhz.glitch_mw, b.at_100mhz.glitch_mw);
   EXPECT_EQ(a.at_100mhz.clock_mw, b.at_100mhz.clock_mw);
   EXPECT_EQ(a.at_100mhz.leakage_mw, b.at_100mhz.leakage_mw);
   EXPECT_EQ(a.at_100mhz.cycles, b.at_100mhz.cycles);
@@ -90,14 +93,20 @@ TEST(MeasureParallel, MultiplierBitIdenticalAcrossThreadCounts) {
 // (workload, vectors, seed) tuples below; the compiled engine must
 // reproduce them bit-for-bit.  A change here means the event schedule
 // -- and therefore every power figure in the paper tables -- moved.
+// The functional/glitch split must partition each pinned total exactly:
+// the split only classifies transitions, it never adds or drops any.
 TEST(MeasureParallel, ToggleTotalsMatchPinnedBaseline) {
   const mf::MfUnit unit = mf::build_mf_unit();
   const FormatPower fp64 =
       measure_mf_parallel(unit, Workload::Fp64Random, 96, 880.0, 1, 1);
   EXPECT_EQ(fp64.toggles, 675452u);
+  EXPECT_EQ(fp64.functional + fp64.glitch, 675452u);
+  EXPECT_GT(fp64.functional, 0u);
+  EXPECT_GT(fp64.glitch, 0u);
   const FormatPower fp32x2 =
       measure_mf_parallel(unit, Workload::Fp32DualRandom, 96, 1330.0, 2, 3);
   EXPECT_EQ(fp32x2.toggles, 498403u);
+  EXPECT_EQ(fp32x2.functional + fp32x2.glitch, 498403u);
 
   mult::MultiplierOptions o;
   o.n = 16;
@@ -106,6 +115,13 @@ TEST(MeasureParallel, ToggleTotalsMatchPinnedBaseline) {
   const MultiplierPower mp =
       measure_multiplier_parallel(mult_unit, 96, 100.0, 0x5EED, 2);
   EXPECT_EQ(mp.toggles, 82681u);
+  EXPECT_EQ(mp.functional + mp.glitch, 82681u);
+
+  // The split itself is thread-count invariant, like every other figure.
+  const MultiplierPower mp4 =
+      measure_multiplier_parallel(mult_unit, 96, 100.0, 0x5EED, 4);
+  EXPECT_EQ(mp4.functional, mp.functional);
+  EXPECT_EQ(mp4.glitch, mp.glitch);
 
   // Compile time is reported separately from simulation wall-clock.
   EXPECT_GT(fp64.compile_s, 0.0);
@@ -318,6 +334,33 @@ TEST(ActivityCounts, MergeIsAdditiveAndSizeChecked) {
   netlist::ActivityCounts wrong;
   wrong.toggles = {1, 2};
   EXPECT_THROW(wrong.merge(b), std::invalid_argument);
+}
+
+TEST(ActivityCounts, FunctionalSplitSurvivesMergeOnlyWhenBothSidesCarryIt) {
+  netlist::ActivityCounts a, b;
+  a.toggles = {4, 6};
+  a.functional = {2, 2};
+  b.toggles = {1, 1};
+  b.functional = {1, 0};
+  a.merge(b);
+  ASSERT_TRUE(a.has_split());
+  EXPECT_EQ(a.functional, (std::vector<std::uint64_t>{3, 2}));
+  EXPECT_EQ(a.total_functional(), 5u);
+  EXPECT_EQ(a.total_glitch(), 12u - 5u);
+
+  // Merging in a lumped-only contribution degrades the split: a partial
+  // functional vector would silently misreport glitch energy.
+  netlist::ActivityCounts lumped;
+  lumped.toggles = {10, 10};
+  a.merge(lumped);
+  EXPECT_FALSE(a.has_split());
+  EXPECT_EQ(a.total_glitch(), 0u);
+
+  // Merging split counts into a fresh accumulator adopts the split.
+  netlist::ActivityCounts fresh;
+  fresh.merge(b);
+  ASSERT_TRUE(fresh.has_split());
+  EXPECT_EQ(fresh.functional, b.functional);
 }
 
 }  // namespace

@@ -20,10 +20,10 @@ namespace mfm::roster {
 namespace {
 
 // The exact unit-name set every tool runs (mfm_lint, mfm_faults,
-// mfm_sweep, mfm_opt all plan from plan_jobs(), so this IS each tool's
-// roster).  Adding or renaming a catalog entry must update this list
-// deliberately -- that is the point: the roster can no longer drift
-// per-tool, only change for all four at once.
+// mfm_sweep, mfm_opt, mfm_serve, mfm_glitch all plan from plan_jobs(),
+// so this IS each tool's roster).  Adding or renaming a catalog entry
+// must update this list deliberately -- that is the point: the roster
+// can no longer drift per-tool, only change for all of them at once.
 const std::vector<std::string> kExpectedJobs = {
     "mult8",
     "radix4-64",

@@ -6,7 +6,7 @@
 // --fanout-threshold=1O0 (letter O) into a fire-on-everything 0.
 // Callers print their own usage message and exit 2 on a false return.
 //
-// CommonOptions + parse_common() hold the options all four roster
+// CommonOptions + parse_common() hold the options all the roster
 // tools share (--json / --only / --out / --seed / --threads) behind
 // one strict-parse error path: a tool's main loop tries parse_common()
 // first, handles its own flags on kNoMatch, and exits 2 on kError or

@@ -1,0 +1,258 @@
+// mfm_glitch: static arrival-window glitch analysis cross-validated
+// against measured EventSim glitch activity, over every shipped
+// generator in the roster catalog (netlist/glitch.h, roster/roster.h).
+//
+//   mfm_glitch [--json] [--only=LIST] [--out=FILE] [--seed=S]
+//              [--threads=N|auto] [--vectors=N] [--top=K]
+//              [--min-overlap=F] [--min-corr=F]
+//
+// Each roster job runs both halves of the analysis on the shared
+// pipelined compilation under the variant's control pins:
+//
+//   static    arrival-window / transition-bound propagation producing a
+//             per-net glitch score weighted by TechLib load, module
+//             aggregates, and the energy-ranked hot-net list;
+//
+//   measured  --vectors random cycles through EventSim with the pins
+//             held, splitting per-net toggles into functional (settled-
+//             value) transitions and glitches.
+//
+// The two per-net glitch-energy rankings are then compared: top --top
+// set overlap and Spearman rank correlation over the union of nets
+// either side scores nonzero.  A unit passes the cross-validation gate
+// when overlap_frac >= --min-overlap OR rank_corr >= --min-corr (the
+// estimator only has to win on one metric; defaults accept everything,
+// CI declares real thresholds).  Exit status is nonzero when any unit
+// fails the gate or any job errored (fail-soft error records still
+// carry the other units' reports).
+//
+// Per-job seeds derive from (--seed, spec index, variant index), never
+// from the job's position in a filtered run, so --only does not change
+// any unit's measured numbers; reports are emitted in catalog order and
+// are byte-identical at any --threads value.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cli_util.h"
+#include "netlist/glitch.h"
+#include "netlist/report.h"
+#include "netlist/techlib.h"
+#include "roster/roster.h"
+
+namespace {
+
+using mfm::netlist::GlitchCrossCheck;
+using mfm::netlist::GlitchOptions;
+using mfm::netlist::GlitchReport;
+using mfm::netlist::MeasuredGlitch;
+using mfm::netlist::TechLib;
+
+struct CliOptions {
+  mfm::cli::CommonOptions common;
+  int vectors = 64;
+  int top = 20;
+  double min_overlap = 0.0;   ///< accept-all default; CI passes a gate
+  double min_corr = -1.0;     ///< accept-all default; CI passes a gate
+};
+
+struct JobResult {
+  std::string rendered;
+  bool gate_failed = false;
+  double overlap_frac = 0.0;
+  double rank_corr = 0.0;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mfm_glitch %s [--vectors=N] [--top=K] "
+               "[--min-overlap=F] [--min-corr=F]\n",
+               mfm::cli::common_usage(/*with_seed=*/true));
+  return 2;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Both analyses plus the cross-validation, as one roster job body.
+JobResult analyze_unit(const CliOptions& cli,
+                       const mfm::roster::JobContext& ctx) {
+  const TechLib& lib = TechLib::lp45();
+  const auto& cc = ctx.compiled();
+
+  GlitchOptions gopt;
+  gopt.pins = ctx.variant.pins;
+  gopt.max_hot = cli.top;
+  const GlitchReport stat = analyze_glitch(cc, lib, gopt);
+
+  // Seed is a pure function of (--seed, spec, variant): --only filtering
+  // must not shift any unit's operand stream.
+  const std::uint64_t seed = splitmix64(
+      cli.common.seed ^ ((static_cast<std::uint64_t>(ctx.job.spec) << 8) |
+                         static_cast<std::uint64_t>(ctx.job.variant)));
+  const MeasuredGlitch meas =
+      measure_glitch(cc, lib, ctx.variant.pins, cli.vectors, seed);
+
+  const GlitchCrossCheck cv = cross_validate_glitch(stat, meas, cli.top);
+  const bool pass =
+      cv.overlap_frac >= cli.min_overlap || cv.rank_corr >= cli.min_corr;
+
+  JobResult r;
+  r.gate_failed = !pass;
+  r.overlap_frac = cv.overlap_frac;
+  r.rank_corr = cv.rank_corr;
+  char buf[160];
+  if (cli.common.json) {
+    std::string j = "{\"unit\":\"";
+    mfm::netlist::json_escape_into(j, ctx.job.name);
+    j += "\",\"static\":";
+    j += glitch_report_json(stat, ctx.job.name);
+    std::snprintf(buf, sizeof buf,
+                  ",\"measured\":{\"cycles\":%llu,\"toggles\":%llu,"
+                  "\"functional\":%llu,\"glitch\":%llu,",
+                  static_cast<unsigned long long>(meas.cycles),
+                  static_cast<unsigned long long>(meas.counts.total_toggles()),
+                  static_cast<unsigned long long>(meas.functional),
+                  static_cast<unsigned long long>(meas.glitch));
+    j += buf;
+    std::snprintf(buf, sizeof buf, "\"glitch_energy_fj\":%.3f}",
+                  meas.glitch_energy_total_fj);
+    j += buf;
+    std::snprintf(buf, sizeof buf,
+                  ",\"crosscheck\":{\"k\":%d,\"overlap\":%d,"
+                  "\"overlap_frac\":%.4f,\"rank_corr\":%.4f,\"compared\":%zu,"
+                  "\"pass\":%s}}",
+                  cv.k, cv.overlap, cv.overlap_frac, cv.rank_corr, cv.compared,
+                  pass ? "true" : "false");
+    j += buf;
+    r.rendered = std::move(j);
+  } else {
+    std::string t = glitch_report_text(stat, ctx.job.name);
+    std::snprintf(buf, sizeof buf,
+                  "measured: %llu cycles, %llu toggles (functional %llu, "
+                  "glitch %llu), %.1f fJ glitch energy\n",
+                  static_cast<unsigned long long>(meas.cycles),
+                  static_cast<unsigned long long>(meas.counts.total_toggles()),
+                  static_cast<unsigned long long>(meas.functional),
+                  static_cast<unsigned long long>(meas.glitch),
+                  meas.glitch_energy_total_fj);
+    t += buf;
+    std::snprintf(buf, sizeof buf,
+                  "crosscheck: top-%d overlap %d/%d (%.2f), spearman %.3f, "
+                  "compared %zu -> %s\n",
+                  cli.top, cv.overlap, cv.k, cv.overlap_frac, cv.rank_corr,
+                  cv.compared, pass ? "PASS" : "FAIL");
+    t += buf;
+    r.rendered = std::move(t);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  cli.common.seed = 0x911C;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    switch (mfm::cli::parse_common("mfm_glitch", arg, cli.common)) {
+      case mfm::cli::ParseStatus::kMatched: continue;
+      case mfm::cli::ParseStatus::kError: return 2;
+      case mfm::cli::ParseStatus::kNoMatch: break;
+    }
+    if (arg.rfind("--vectors=", 0) == 0) {
+      long v = 0;
+      if (!mfm::cli::parse_long(arg.c_str() + 10, v) || v < 1 || v > 100'000) {
+        std::fprintf(stderr,
+                     "mfm_glitch: bad --vectors value '%s' (need an integer "
+                     "in [1, 100000])\n",
+                     arg.c_str() + 10);
+        return 2;
+      }
+      cli.vectors = static_cast<int>(v);
+    } else if (arg.rfind("--top=", 0) == 0) {
+      long v = 0;
+      if (!mfm::cli::parse_long(arg.c_str() + 6, v) || v < 1 || v > 10'000) {
+        std::fprintf(stderr,
+                     "mfm_glitch: bad --top value '%s' (need an integer in "
+                     "[1, 10000])\n",
+                     arg.c_str() + 6);
+        return 2;
+      }
+      cli.top = static_cast<int>(v);
+    } else if (arg.rfind("--min-overlap=", 0) == 0) {
+      if (!mfm::cli::parse_double(arg.c_str() + 14, cli.min_overlap) ||
+          cli.min_overlap < 0.0 || cli.min_overlap > 1.0) {
+        std::fprintf(stderr,
+                     "mfm_glitch: bad --min-overlap value '%s' (need a "
+                     "number in [0, 1])\n",
+                     arg.c_str() + 14);
+        return 2;
+      }
+    } else if (arg.rfind("--min-corr=", 0) == 0) {
+      if (!mfm::cli::parse_double(arg.c_str() + 11, cli.min_corr) ||
+          cli.min_corr < -1.0 || cli.min_corr > 1.0) {
+        std::fprintf(stderr,
+                     "mfm_glitch: bad --min-corr value '%s' (need a number "
+                     "in [-1, 1])\n",
+                     arg.c_str() + 11);
+        return 2;
+      }
+    } else {
+      return usage();
+    }
+  }
+
+  mfm::netlist::ReportSink sink("mfm_glitch", cli.common.json, cli.common.out);
+  if (!sink.ok()) return 2;
+
+  mfm::roster::RosterDriver driver(mfm::roster::BuildMode::kPipelined,
+                                   cli.common.only, cli.common.threads,
+                                   cli.common.json);
+  const std::vector<JobResult> results = driver.run<JobResult>(
+      sink,
+      [&cli](const mfm::roster::JobContext& ctx) {
+        return analyze_unit(cli, ctx);
+      });
+
+  const std::vector<std::string> errored = driver.failed_jobs();
+  int gate_failures = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!driver.job_errors()[i].empty()) continue;  // fail-soft error entry
+    if (results[i].gate_failed) {
+      ++gate_failures;
+      std::fprintf(stderr,
+                   "mfm_glitch: %s: cross-validation FAILED (overlap %.2f < "
+                   "%.2f and spearman %.3f < %.3f)\n",
+                   driver.jobs()[i].name.c_str(), results[i].overlap_frac,
+                   cli.min_overlap, results[i].rank_corr, cli.min_corr);
+    }
+  }
+
+  if (!sink.finish("\"gate_failures\":" + std::to_string(gate_failures) +
+                       ",\"errors\":" + std::to_string(errored.size()),
+                   "cross-validation failures: " +
+                       std::to_string(gate_failures) + "\n"))
+    return 2;
+  if (!errored.empty()) {
+    std::fprintf(stderr, "mfm_glitch: %zu job(s) failed:", errored.size());
+    for (const std::string& name : errored)
+      std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+  if (gate_failures > 0) {
+    std::fprintf(stderr,
+                 "mfm_glitch: %d unit(s) failed the static-vs-measured "
+                 "cross-validation gate\n",
+                 gate_failures);
+    return 1;
+  }
+  return 0;
+}

@@ -37,6 +37,7 @@
 
 #include "cli_util.h"
 #include "netlist/equiv.h"
+#include "netlist/glitch.h"
 #include "netlist/report.h"
 #include "netlist/rewrite.h"
 #include "netlist/sweep.h"
@@ -66,6 +67,7 @@ struct JobResult {
   bool failed = false;
   std::string error;  ///< end-to-end proof counterexample, for stderr
   double area_saved = 0.0;
+  double glitch_saved_fj = 0.0;  ///< static estimate delta [fJ/cycle]
 };
 
 int usage() {
@@ -134,6 +136,12 @@ JobResult optimize_unit(const CliOptions& cli,
   rep.area_before_nand2 = total_area_nand2(c, lib);
   rep.gates_after = mfm::netlist::gate_count(*cur);
   rep.area_after_nand2 = total_area_nand2(*cur, lib);
+  // End-to-end static glitch-energy delta (the rewrite stage's numbers
+  // would miss what the sweeps removed).
+  rep.glitch_ran = true;
+  rep.glitch_before_fj = mfm::netlist::static_glitch_energy_fj(c, lib, pins);
+  rep.glitch_after_fj =
+      mfm::netlist::static_glitch_energy_fj(*cur, lib, pins);
   rep.verify_ran = true;
   rep.verified = eq.equivalent;
   rep.verify_vectors = eq.vectors;
@@ -143,6 +151,7 @@ JobResult optimize_unit(const CliOptions& cli,
   r.failed = !eq.equivalent;
   r.error = eq.equivalent ? "" : eq.counterexample;
   r.area_saved = rep.area_removed_nand2();
+  r.glitch_saved_fj = rep.glitch_removed_fj();
   r.rendered = cli.common.json ? rewrite_report_json(rep, ctx.job.name)
                                : rewrite_report_text(rep, ctx.job.name);
   return r;
@@ -211,6 +220,7 @@ int main(int argc, char** argv) {
   const std::vector<std::string> errored = driver.failed_jobs();
   int failures = 0;
   double total_area_saved = 0.0;  // summed in catalog order: deterministic
+  double total_glitch_saved = 0.0;
   for (std::size_t i = 0; i < results.size(); ++i) {
     if (!driver.job_errors()[i].empty()) continue;  // fail-soft error entry
     if (results[i].failed) {
@@ -221,14 +231,20 @@ int main(int argc, char** argv) {
                    driver.jobs()[i].name.c_str(), results[i].error.c_str());
     }
     total_area_saved += results[i].area_saved;
+    total_glitch_saved += results[i].glitch_saved_fj;
   }
 
   char area[64];
   std::snprintf(area, sizeof area, "%.3f", total_area_saved);
+  char glitch[64];
+  std::snprintf(glitch, sizeof glitch, "%.3f", total_glitch_saved);
   if (!sink.finish(std::string("\"total_area_saved_nand2\":") + area +
+                       ",\"total_glitch_saved_fj\":" + glitch +
                        ",\"failures\":" + std::to_string(failures) +
                        ",\"errors\":" + std::to_string(errored.size()),
-                   std::string("total area saved: ") + area + " NAND2\n"))
+                   std::string("total area saved: ") + area +
+                       " NAND2, glitch energy saved: " + glitch +
+                       " fJ/cycle\n"))
     return 2;
   if (!errored.empty()) {
     std::fprintf(stderr, "mfm_opt: %zu job(s) failed:", errored.size());
